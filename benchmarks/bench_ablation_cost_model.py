@@ -1,0 +1,78 @@
+"""Ablation F — the Section IV-C analytical model against measurement.
+
+Calibrates the two free constants of the cost model from the 1-core run
+of r100k, then compares predicted vs measured speedups across the
+paper's core sweep.  The model should track the measured curve's shape
+(monotone growth, sub-linear efficiency) within a small factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import CalibratedCostModel, CostModel, WorkloadParams
+from repro.data import make_dataset
+
+from _harness import (
+    executor_speedup,
+    print_table,
+    run_spark_sweep,
+    save_results,
+    total_speedup,
+)
+
+CORES = [4, 8, 16, 32]
+
+
+def test_ablation_cost_model_vs_measured(benchmark):
+    g = make_dataset("r100k")
+    baseline, rows = run_spark_sweep("r100k", CORES)
+
+    table, payload = [], []
+    for row in rows:
+        params = WorkloadParams(
+            n=g.n, d=g.d, m=row.partial_clusters,
+            K=max(1, g.n // max(row.partial_clusters, 1)),
+            delta=baseline.driver_time,
+        )
+        model = CalibratedCostModel.fit(
+            params,
+            measured_executor_total=baseline.executor_wall,
+            measured_merge=row.driver_time,
+        )
+        predicted = model.speedup(row.cores)
+        measured = total_speedup(baseline, row)
+        table.append([row.cores, round(measured, 2), round(predicted, 2),
+                      round(executor_speedup(baseline, row), 2),
+                      row.partial_clusters])
+        payload.append({
+            "cores": row.cores, "measured_total_speedup": measured,
+            "predicted_speedup": predicted,
+            "measured_executor_speedup": executor_speedup(baseline, row),
+            "partial_clusters": row.partial_clusters,
+        })
+    print_table(
+        "Ablation F: Section IV-C model vs measurement (r100k)",
+        ["cores", "measured total", "model predicted", "measured exec",
+         "partials"],
+        table,
+    )
+    save_results("ablation_cost_model", payload)
+
+    measured = [p["measured_total_speedup"] for p in payload]
+    predicted = [p["predicted_speedup"] for p in payload]
+    # Within a factor of 3 at every point (an *analytical* model with two
+    # fitted constants, not a simulator).
+    for m, p in zip(measured, predicted):
+        assert 0.33 < p / m < 3.0, f"model off by >3x: measured {m}, predicted {p}"
+    # Same shape: both curves rise and then sag where the merge term
+    # bites — their peaks land within one sweep step of each other.
+    import numpy as np
+
+    assert abs(int(np.argmax(predicted)) - int(np.argmax(measured))) <= 1
+
+    # Abstract-unit model exercises too (for the record).
+    abstract = CostModel(WorkloadParams(n=g.n, d=g.d, m=rows[-1].partial_clusters, K=50))
+    assert abstract.speedup(32) > abstract.speedup(4) * 0.9
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+"""Ablation E — spatial indexing (Sections II-A, V-B, V-E).
+
+Three claims measured:
+1. kd-tree range queries beat the O(n²) linear scan (the paper's
+   complexity-reduction argument);
+2. construction is O(n log n)-ish: build time grows near-linearly;
+3. branch pruning (``max_neighbors``) trades a bounded accuracy loss
+   for shorter, flatter query times — the paper's r1m trick.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data import EPS, MINPTS, make_dataset
+from repro.dbscan import SparkDBSCAN, adjusted_rand_index
+from repro.kdtree import BruteForceIndex, KDTree
+
+from _harness import print_table, save_results
+
+
+def test_ablation_kdtree_vs_bruteforce(benchmark):
+    g = make_dataset("r10k")
+    tree = KDTree(g.points)
+    brute = BruteForceIndex(g.points)
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, g.n, 300)
+
+    t0 = time.perf_counter()
+    for i in idx:
+        tree.query_radius(g.points[i], EPS)
+    t_tree = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for i in idx:
+        brute.query_radius(g.points[i], EPS)
+    t_brute = time.perf_counter() - t0
+
+    print_table(
+        "Ablation E1: eps-range query cost, r10k (300 queries)",
+        ["index", "seconds", "us/query"],
+        [["kd-tree", round(t_tree, 4), round(t_tree / 300 * 1e6, 1)],
+         ["brute force", round(t_brute, 4), round(t_brute / 300 * 1e6, 1)]],
+    )
+    save_results("ablation_kdtree_query", {"kdtree_s": t_tree, "brute_s": t_brute})
+    assert t_tree < t_brute  # the reason the paper builds a kd-tree at all
+
+    benchmark.pedantic(
+        lambda: [tree.query_radius(g.points[i], EPS) for i in idx[:50]],
+        rounds=3, iterations=1,
+    )
+
+
+def test_ablation_kdtree_build_scaling(benchmark):
+    rng = np.random.default_rng(1)
+    rows, payload = [], []
+    times = {}
+    for n in (5_000, 10_000, 20_000, 40_000):
+        pts = rng.uniform(0, 1000, (n, 10))
+        t0 = time.perf_counter()
+        KDTree(pts)
+        dt = time.perf_counter() - t0
+        times[n] = dt
+        rows.append([n, round(dt, 4), round(dt / n * 1e6, 2)])
+        payload.append({"n": n, "seconds": dt})
+    print_table(
+        "Ablation E2: kd-tree construction scaling (d=10)",
+        ["n", "build (s)", "us/point"],
+        rows,
+    )
+    save_results("ablation_kdtree_build", payload)
+    # Near-linear: 8x points must cost far less than 8^2 = 64x time.
+    assert times[40_000] < times[5_000] * 40
+
+    benchmark.pedantic(lambda: KDTree(rng.uniform(0, 1000, (10_000, 10))),
+                       rounds=3, iterations=1)
+
+
+def test_ablation_pruning_accuracy_speed(benchmark):
+    """The r1m pruned-query mode: accuracy vs speed across caps."""
+    g = make_dataset("r10k")
+    tree = KDTree(g.points)
+    exact = SparkDBSCAN(EPS, MINPTS, num_partitions=8).fit(g.points, tree=tree)
+
+    rows, payload = [], []
+    for cap in (None, 160, 80, 40, 20):
+        t0 = time.perf_counter()
+        res = SparkDBSCAN(EPS, MINPTS, num_partitions=8,
+                          max_neighbors=cap).fit(g.points, tree=tree)
+        wall = time.perf_counter() - t0
+        ari = adjusted_rand_index(exact.labels, res.labels)
+        rows.append([cap or "exact", round(wall, 3), round(ari, 4),
+                     res.num_clusters])
+        payload.append({"cap": cap, "seconds": wall, "ari": ari,
+                        "clusters": res.num_clusters})
+    print_table(
+        "Ablation E3: pruned kd-tree queries (r10k, 8 partitions)",
+        ["max-neighbors", "wall (s)", "ARI vs exact", "clusters"],
+        rows,
+    )
+    save_results("ablation_pruning", payload)
+    # Moderate caps must retain the structure (paper: removal "does not
+    # impact the accuracy significantly").
+    moderate = [p for p in payload if p["cap"] in (160, 80)]
+    assert all(p["ari"] > 0.95 for p in moderate)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

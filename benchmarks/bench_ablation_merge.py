@@ -1,0 +1,98 @@
+"""Ablation B — merge strategy: Algorithm 4's single pass vs union-find.
+
+On real workloads partial clusters almost always seed back at each
+other, so the single pass converges; adversarial merge *chains*
+(cluster pieces linked A→B→C with one-directional seeds) expose the
+difference.  This bench measures both on a real dataset and on
+synthetic chains, plus the merge-time cost of each strategy.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.data import EPS, MINPTS, make_dataset
+from repro.dbscan import PartialCluster, SparkDBSCAN, merge_paper, merge_union_find
+from repro.kdtree import KDTree
+
+from _harness import print_table, save_results
+
+
+def _synthetic_chain(length: int) -> tuple[list[PartialCluster], int]:
+    """length partial clusters, each seeding only the next one."""
+    per = 10
+    n = length * per
+    partials = []
+    for i in range(length):
+        lo, hi = i * per, (i + 1) * per
+        seeds = [hi] if i < length - 1 else []
+        partials.append(PartialCluster(
+            partition=i, local_id=0, lo=lo, hi=hi,
+            members=list(range(lo, hi)), seeds=seeds,
+        ))
+    return partials, n
+
+
+def test_ablation_merge_chains(benchmark):
+    rows, payload = [], []
+    for length in (2, 3, 5, 10, 50):
+        partials, n = _synthetic_chain(length)
+        uf = merge_union_find([_copy(c) for c in partials], n)
+        pp = merge_paper([_copy(c) for c in partials], n)
+        rows.append([length, uf.num_global_clusters, pp.num_global_clusters])
+        payload.append({
+            "chain_length": length,
+            "union_find_clusters": uf.num_global_clusters,
+            "paper_clusters": pp.num_global_clusters,
+        })
+        assert uf.num_global_clusters == 1  # always closes the chain
+        if length > 2:
+            # The single pass cannot follow absorbed masters' seeds.
+            assert pp.num_global_clusters > 1
+    print_table(
+        "Ablation B1: merge chains (1 true cluster split across k partitions)",
+        ["chain length", "union-find clusters", "Algorithm-4 clusters"],
+        rows,
+    )
+    save_results("ablation_merge_chains", payload)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ablation_merge_on_real_data(benchmark):
+    """On dense clusters both strategies agree — and we time them."""
+    g = make_dataset("r10k")
+    tree = KDTree(g.points)
+    res = SparkDBSCAN(EPS, MINPTS, num_partitions=8, keep_partials=True).fit(
+        g.points, tree=tree
+    )
+    partials = res.partials
+    assert partials is not None
+
+    t0 = time.perf_counter()
+    uf = merge_union_find([_copy(c) for c in partials], g.n)
+    t_uf = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pp = merge_paper([_copy(c) for c in partials], g.n)
+    t_pp = time.perf_counter() - t0
+
+    print_table(
+        "Ablation B2: merge strategies on r10k (8 partitions)",
+        ["strategy", "global clusters", "merge time (s)"],
+        [["union_find", uf.num_global_clusters, round(t_uf, 4)],
+         ["paper", pp.num_global_clusters, round(t_pp, 4)]],
+    )
+    save_results("ablation_merge_real", {
+        "union_find": {"clusters": uf.num_global_clusters, "seconds": t_uf},
+        "paper": {"clusters": pp.num_global_clusters, "seconds": t_pp},
+    })
+    assert uf.num_global_clusters == pp.num_global_clusters
+
+    benchmark.pedantic(
+        lambda: merge_union_find([_copy(c) for c in partials], g.n),
+        rounds=3, iterations=1,
+    )
+
+
+def _copy(c: PartialCluster) -> PartialCluster:
+    return PartialCluster(c.partition, c.local_id, c.lo, c.hi,
+                          members=list(c.members), seeds=list(c.seeds))

@@ -1,0 +1,59 @@
+"""Ablation G — spatial partitioning (the paper's future work, built).
+
+Index-range partitioning on shuffled data slices every cluster across
+every partition; kd-tree-order partitioning keeps clusters within few
+partitions.  Measured: seeds (accumulator payload), partial clusters,
+driver merge time, and end-to-end wall.
+"""
+
+from __future__ import annotations
+
+from repro.data import EPS, MINPTS, make_dataset
+from repro.dbscan import SparkDBSCAN, SpatialSparkDBSCAN, adjusted_rand_index
+from repro.kdtree import KDTree
+
+from _harness import print_table, save_results
+
+CORES = [4, 8, 16]
+
+
+def test_ablation_spatial_partitioning(benchmark):
+    g = make_dataset("r10k")
+    tree = KDTree(g.points)
+
+    rows, payload = [], []
+    for cores in CORES:
+        plain = SparkDBSCAN(EPS, MINPTS, num_partitions=cores).fit(
+            g.points, tree=tree
+        )
+        spatial = SpatialSparkDBSCAN(EPS, MINPTS, num_partitions=cores).fit(g.points)
+        ari = adjusted_rand_index(plain.labels, spatial.labels)
+        rows.append([
+            cores,
+            plain.num_seeds, spatial.num_seeds,
+            plain.num_partial_clusters, spatial.num_partial_clusters,
+            round(plain.timings.driver_merge, 3),
+            round(spatial.timings.driver_merge, 3),
+            round(ari, 4),
+        ])
+        payload.append({
+            "cores": cores,
+            "seeds_index": plain.num_seeds, "seeds_spatial": spatial.num_seeds,
+            "partials_index": plain.num_partial_clusters,
+            "partials_spatial": spatial.num_partial_clusters,
+            "merge_index_s": plain.timings.driver_merge,
+            "merge_spatial_s": spatial.timings.driver_merge,
+            "ari": ari,
+        })
+        assert ari > 0.999  # same clustering
+        assert spatial.num_seeds < plain.num_seeds
+        assert spatial.num_partial_clusters <= plain.num_partial_clusters
+
+    print_table(
+        "Ablation G: index-range vs spatial partitioning (r10k)",
+        ["cores", "seeds(index)", "seeds(spatial)", "partials(index)",
+         "partials(spatial)", "merge(index) s", "merge(spatial) s", "ARI"],
+        rows,
+    )
+    save_results("ablation_spatial", payload)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

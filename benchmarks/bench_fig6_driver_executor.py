@@ -1,0 +1,79 @@
+"""Figure 6 (a–d) — time split between driver and executors, and the
+number of partial clusters, as core counts grow.
+
+Paper phenomena to reproduce:
+- partial clusters grow (steeply) with the number of cores/partitions;
+- executor time shrinks with cores while driver time grows with the
+  number of partial clusters (the ``n + K·m`` merge term of Sec IV-C);
+- for the small r10k the driver time barely moves ("the data set is too
+  small").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    PAPER_PARTIAL_CLUSTERS,
+    print_table,
+    run_spark_sweep,
+    scaled_cores,
+    save_results,
+)
+
+#: Paper's per-dataset core sweeps (Figures 6a–6d).  The r1m core axis
+#: scales with the dataset (points-per-partition regime, see
+#: `scaled_cores`); it is literal at REPRO_SCALE=1.0.
+#: r1m uses the paper's Section V-E pruning + small-cluster filtering.
+R1M_KWARGS = {"max_neighbors": 64, "min_cluster_size": 5, "seed_policy": "one_per_partition"}
+
+SWEEPS = {
+    "r10k": ([1, 2, 4, 8], False, {}),
+    "r1m": ([64, 128, 256, 512], True, R1M_KWARGS),
+    "c100k": ([4, 8, 16, 32], False, {}),
+    "r100k": ([4, 8, 16, 32], False, {}),
+}
+
+
+@pytest.mark.parametrize("dataset", list(SWEEPS))
+def test_fig6_driver_executor_split(dataset, benchmark):
+    paper_cores, scale_axis, kwargs = SWEEPS[dataset]
+    pairs = scaled_cores(dataset, paper_cores) if scale_axis else [
+        (c, c) for c in paper_cores
+    ]
+    baseline, rows = run_spark_sweep(dataset, [run for _p, run in pairs], **kwargs)
+    paper = PAPER_PARTIAL_CLUSTERS[dataset]
+    print_table(
+        f"Figure 6 ({dataset}): driver vs executor time and partial clusters",
+        ["paper-cores", "run-cores", "executor (s)", "driver (s)",
+         "partial-clusters", "paper-partials", "seeds"],
+        [[pc, r.cores, round(r.executor_wall, 3), round(r.driver_time, 3),
+          r.partial_clusters, paper.get(pc, "-"), r.seeds]
+         for (pc, _rc), r in zip(pairs, rows)],
+    )
+    save_results(f"fig6_{dataset}", rows)
+
+    # Partial clusters must grow with cores (paper: 10→392 for r10k,
+    # 720→9279 for c100k, ...).
+    partials = [r.partial_clusters for r in rows]
+    assert partials == sorted(partials), f"partials not increasing: {partials}"
+    assert partials[-1] > partials[0]
+
+    # Executor wall must shrink as cores grow.
+    exec_walls = [r.executor_wall for r in rows]
+    assert exec_walls[-1] < exec_walls[0]
+
+    # Driver time must not shrink while partial clusters explode: compare
+    # the last and first sweep point.
+    assert rows[-1].driver_time >= rows[0].driver_time * 0.5
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig6_r10k_driver_time_flat(benchmark):
+    """Paper (Fig 6a): 'the time spent in driver does not change very much
+    ... because the data set is too small'."""
+    _, rows = run_spark_sweep("r10k", [1, 8])
+    small, large = rows[0].driver_time, rows[-1].driver_time
+    assert large < small * 10 + 0.5  # same order of magnitude
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

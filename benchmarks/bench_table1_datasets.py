@@ -1,0 +1,58 @@
+"""Table I — properties of the test data.
+
+Regenerates the five datasets and prints their properties next to the
+paper's row, plus the density sanity numbers (core-point rate at
+eps=25/minpts=5) that make the substitution generator credible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import EPS, MINPTS, PAPER_SIZES, dataset_spec, make_dataset
+from repro.kdtree import KDTree
+
+from _harness import print_table, save_results
+
+
+def _density_stats(points: np.ndarray, labels: np.ndarray, sample: int = 300):
+    tree = KDTree(points)
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, len(points), min(sample, len(points)))
+    counts = np.array([tree.query_radius(points[i], EPS).size for i in idx])
+    member = labels[idx] >= 0
+    member_core = float((counts[member] >= MINPTS).mean()) if member.any() else 0.0
+    noise_core = float((counts[~member] >= MINPTS).mean()) if (~member).any() else 0.0
+    return member_core, noise_core
+
+
+def test_table1_dataset_properties(benchmark):
+    rows = []
+    payload = []
+    for name in PAPER_SIZES:
+        spec = dataset_spec(name)
+        g = make_dataset(name)
+        member_core, noise_core = _density_stats(g.points, g.true_labels)
+        rows.append([
+            name, spec.paper_n, g.n, g.d, spec.eps, spec.minpts,
+            len(g.clusters), round(member_core, 3), round(noise_core, 3),
+        ])
+        payload.append({
+            "name": name, "paper_points": spec.paper_n, "points": g.n,
+            "d": g.d, "eps": spec.eps, "minpts": spec.minpts,
+            "true_clusters": len(g.clusters),
+            "member_core_rate": member_core, "noise_core_rate": noise_core,
+        })
+        # Table I invariants.
+        assert g.d == 10 and spec.eps == 25.0 and spec.minpts == 5
+        assert member_core > 0.9, f"{name}: cluster members must be core points"
+        assert noise_core < 0.1, f"{name}: background noise must not be core"
+    print_table(
+        "Table I: properties of test data (paper n vs generated n)",
+        ["name", "paper-points", "points", "d", "eps", "minpts",
+         "true-clusters", "member-core-rate", "noise-core-rate"],
+        rows,
+    )
+    save_results("table1_datasets", payload)
+    # Representative kernel for pytest-benchmark: c10k generation.
+    benchmark.pedantic(lambda: make_dataset("c10k"), rounds=3, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Tour of the mini-Spark engine underneath the DBSCAN reproduction.
+
+The paper's algorithm uses a narrow slice of Spark (parallelize,
+foreachPartition, broadcast, accumulator).  The engine implements much
+more; this example shows the rest working: lazy lineage, shuffles,
+caching, joins, and the DAG scheduler's stage construction — the
+Section II-B machinery.
+
+    python examples/engine_tour.py
+"""
+
+from repro.engine import SparkContext
+
+
+def main() -> None:
+    with SparkContext("threads[4]") as sc:
+        print("== word count (the canonical shuffle job) ==")
+        text = [
+            "spark avoids shuffles when it can",
+            "dbscan with spark avoids shuffles entirely",
+            "seeds let the driver merge partial clusters",
+        ]
+        counts = (
+            sc.parallelize(text, 3)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+        )
+        top = sorted(counts.collect(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        print("   top words:", top)
+        print("   stages in that job:", len(sc.last_job_metrics.stages),
+              "(map-side + reduce-side — a shuffle boundary)")
+
+        print("\n== lazy lineage + caching ==")
+        expensive_calls = sc.accumulator()
+        base = sc.parallelize(range(10_000), 4).map(
+            lambda x: (expensive_calls.add(1), x * x)[1]
+        )
+        cached = base.cache()
+        print("   nothing computed yet:", expensive_calls.value == 0)
+        s1 = cached.sum()
+        s2 = cached.sum()
+        print(f"   two actions, sums equal: {s1 == s2}; "
+              f"map ran {expensive_calls.value} times (cache hit on 2nd)")
+
+        print("\n== join (composed from shuffles) ==")
+        users = sc.parallelize([(1, "ada"), (2, "grace"), (3, "edsger")], 2)
+        logins = sc.parallelize([(1, "mon"), (1, "tue"), (3, "fri")], 2)
+        joined = sorted(users.join(logins).collect())
+        print("  ", joined)
+
+        print("\n== zip_with_index / distinct / count_by_key ==")
+        letters = sc.parallelize("abbcccddddx", 3)
+        print("   indexed head:", letters.zip_with_index().take(4))
+        print("   distinct:", sorted(letters.distinct().collect()))
+        print("   counts:", dict(sorted(
+            letters.map(lambda ch: (ch, None)).count_by_key().items()
+        )))
+
+        print("\n== shuffle reuse across jobs ==")
+        r = sc.parallelize([(i % 5, 1) for i in range(100)], 4).reduce_by_key(
+            lambda a, b: a + b
+        )
+        r.collect()
+        first = len(sc.last_job_metrics.stages)
+        r.count()
+        second = len(sc.last_job_metrics.stages)
+        print(f"   first action ran {first} stages; second ran {second} "
+              "(map output reused, like Spark's map-output tracker)")
+
+
+if __name__ == "__main__":
+    main()

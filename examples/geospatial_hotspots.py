@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Geospatial hotspot detection — the classic DBSCAN use-case.
+
+Synthesises a city's worth of GPS event coordinates (pickup locations,
+incident reports, ...): several dense hotspots of different shapes and
+sizes over a sparse background.  DBSCAN finds the hotspots without
+knowing their count and without forcing the background into clusters —
+exactly why the paper's intro motivates density-based clustering over
+K-means.
+
+    python examples/geospatial_hotspots.py
+"""
+
+import numpy as np
+
+from repro.dbscan import NOISE, SparkDBSCAN
+
+
+def make_city_events(seed: int = 7) -> np.ndarray:
+    """~6000 lon/lat-like points: blobs, a curved 'riverfront strip',
+    and uniform background."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    # Compact hotspots (plazas, stations).
+    for center, std, size in [
+        ((2.0, 8.0), 0.15, 900),
+        ((7.5, 7.0), 0.25, 1200),
+        ((5.0, 2.5), 0.10, 600),
+    ]:
+        blocks.append(rng.normal(center, std, (size, 2)))
+    # A curved strip along a riverfront: arc of a circle.
+    t = rng.uniform(0.2, 1.8, 1800)
+    arc = np.c_[4 + 3.5 * np.cos(t), 3.5 * np.sin(t) + 4]
+    blocks.append(arc + rng.normal(0, 0.08, arc.shape))
+    # Sparse background events across the whole city.
+    blocks.append(rng.uniform(0, 10, (1500, 2)))
+    pts = np.vstack(blocks)
+    return pts[rng.permutation(len(pts))]
+
+
+def main() -> None:
+    points = make_city_events()
+    print(f"{len(points)} GPS events")
+
+    model = SparkDBSCAN(eps=0.12, minpts=8, num_partitions=6)
+    result = model.fit(points)
+
+    print(f"\n{result.summary()}")
+    print(f"driver merge handled {result.num_partial_clusters} partial "
+          f"clusters from 6 executors via {result.num_seeds} SEEDs\n")
+
+    sizes = result.cluster_sizes()
+    print("hotspot  events  extent (width x height)")
+    for cid, size in sorted(sizes.items(), key=lambda kv: -kv[1])[:6]:
+        cluster = points[result.labels == cid]
+        w, h = cluster.max(axis=0) - cluster.min(axis=0)
+        print(f"{cid:7d}  {size:6d}  {w:.2f} x {h:.2f}")
+    background = int((result.labels == NOISE).sum())
+    print(f"\nbackground (unclustered) events: {background} "
+          f"({background / len(points):.0%})")
+
+    # The curved strip must come out as ONE hotspot — the arbitrary-shape
+    # capability K-means lacks.
+    biggest = max(sizes, key=sizes.get)
+    strip = points[result.labels == biggest]
+    assert len(strip) > 1500, "the riverfront strip should be the largest hotspot"
+    print("\nriverfront strip detected as a single arbitrary-shaped cluster ✓")
+
+
+if __name__ == "__main__":
+    main()

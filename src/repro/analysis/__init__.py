@@ -1,0 +1,22 @@
+"""Analytical tooling: the Section IV-C cost model and workload-balance
+diagnostics."""
+
+from .balance import BalanceReport, analyze_balance, speedup_ceiling
+from .cost_model import (
+    CalibratedCostModel,
+    CostModel,
+    WorkloadParams,
+    search_time_lower,
+    search_time_upper,
+)
+
+__all__ = [
+    "CostModel",
+    "CalibratedCostModel",
+    "WorkloadParams",
+    "search_time_lower",
+    "search_time_upper",
+    "BalanceReport",
+    "analyze_balance",
+    "speedup_ceiling",
+]

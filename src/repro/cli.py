@@ -1,0 +1,175 @@
+"""Command-line interface: generate data, cluster, and run scaling studies.
+
+    python -m repro datasets
+    python -m repro generate c10k -o points.txt
+    python -m repro cluster points.txt --eps 25 --minpts 5 --partitions 8
+    python -m repro cluster r10k --algorithm mapreduce
+    python -m repro scaling r10k --cores 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+ALGORITHMS = ("spark", "sequential", "naive", "mapreduce", "spatial")
+
+
+def _load_points(source: str) -> np.ndarray:
+    """A dataset name from Table I, or a path to a points file."""
+    from repro.data import PAPER_SIZES, load_points, make_dataset
+
+    if source in PAPER_SIZES:
+        return make_dataset(source).points
+    return load_points(source)
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    """List the Table I datasets and their effective sizes."""
+    from repro.data import PAPER_SIZES, dataset_spec
+
+    print(f"{'name':>6}  {'paper-points':>12}  {'effective':>9}  d  eps  minpts")
+    for name in PAPER_SIZES:
+        s = dataset_spec(name)
+        print(f"{s.name:>6}  {s.paper_n:>12}  {s.n:>9}  {s.d}  {s.eps}  {s.minpts}")
+    print("\n(set REPRO_SCALE=1.0 for full paper sizes)")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a Table I dataset into a points file."""
+    from repro.data import make_dataset, save_points
+
+    data = make_dataset(args.dataset)
+    save_points(args.output, data.points)
+    print(f"wrote {data.n} points (d={data.d}) to {args.output}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Cluster a dataset/points file with the chosen implementation."""
+    points = _load_points(args.source)
+    print(f"{points.shape[0]} points, d={points.shape[1]}; "
+          f"algorithm={args.algorithm}, eps={args.eps}, minpts={args.minpts}")
+
+    if args.algorithm == "sequential":
+        from repro.dbscan import dbscan_sequential
+
+        result = dbscan_sequential(points, args.eps, args.minpts)
+    elif args.algorithm == "spark":
+        from repro.dbscan import SparkDBSCAN
+
+        result = SparkDBSCAN(args.eps, args.minpts,
+                             num_partitions=args.partitions).fit(points)
+    elif args.algorithm == "spatial":
+        from repro.dbscan import SpatialSparkDBSCAN
+
+        result = SpatialSparkDBSCAN(args.eps, args.minpts,
+                                    num_partitions=args.partitions).fit(points)
+    elif args.algorithm == "naive":
+        from repro.dbscan import NaiveSparkDBSCAN
+
+        result = NaiveSparkDBSCAN(args.eps, args.minpts,
+                                  num_partitions=args.partitions).fit(points)
+    else:  # mapreduce
+        from repro.dbscan import MapReduceDBSCAN
+
+        result = MapReduceDBSCAN(args.eps, args.minpts,
+                                 num_maps=args.partitions,
+                                 startup_overhead=0.0).fit(points)
+
+    print(result.summary())
+    t = result.timings
+    print(f"timing: kdtree {t.kdtree_build:.3f}s | executors "
+          f"{t.executor_total:.3f}s total / {t.executor_max:.3f}s max | "
+          f"driver merge {t.driver_merge:.3f}s")
+    if args.labels_out:
+        np.savetxt(args.labels_out, result.labels, fmt="%d")
+        print(f"labels written to {args.labels_out}")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    """Run a Figure 8-style core sweep and print speedups."""
+    from repro.dbscan import SparkDBSCAN
+    from repro.kdtree import KDTree
+
+    points = _load_points(args.source)
+    tree = KDTree(points)
+
+    def run(p: int):
+        """Execute the given tasks, yielding outcomes as they complete."""
+        res = SparkDBSCAN(args.eps, args.minpts, num_partitions=p).fit(
+            points, tree=tree
+        )
+        return res.timings.executor_max, res.timings.driver_time, \
+            res.num_partial_clusters
+
+    base_exec, base_driver, _ = run(1)
+    print(f"baseline: executor {base_exec:.3f}s, driver {base_driver:.3f}s")
+    print(f"{'cores':>5}  {'exec-speedup':>12}  {'total-speedup':>13}  {'partials':>8}")
+    for p in args.cores:
+        ex, dr, partials = run(p)
+        print(f"{p:>5}  {base_exec / ex:>12.2f}  "
+              f"{(base_exec + base_driver) / (ex + dr):>13.2f}  {partials:>8}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEED-based shuffle-free parallel DBSCAN (IPDPSW 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table I datasets").set_defaults(
+        func=cmd_datasets
+    )
+
+    g = sub.add_parser("generate", help="generate a Table I dataset to a file")
+    g.add_argument("dataset")
+    g.add_argument("-o", "--output", required=True)
+    g.set_defaults(func=cmd_generate)
+
+    c = sub.add_parser("cluster", help="cluster a dataset name or points file")
+    c.add_argument("source")
+    c.add_argument("--eps", type=float, default=25.0)
+    c.add_argument("--minpts", type=int, default=5)
+    c.add_argument("--partitions", type=int, default=4)
+    c.add_argument("--algorithm", choices=ALGORITHMS, default="spark")
+    c.add_argument("--labels-out", default=None)
+    c.set_defaults(func=cmd_cluster)
+
+    s = sub.add_parser("scaling", help="Figure 8-style speedup sweep")
+    s.add_argument("source")
+    s.add_argument("--eps", type=float, default=25.0)
+    s.add_argument("--minpts", type=int, default=5)
+    s.add_argument("--cores", type=int, nargs="+", default=[2, 4, 8])
+    s.set_defaults(func=cmd_scaling)
+
+    h = sub.add_parser("history", help="summarise an engine event log")
+    h.add_argument("log_path")
+    h.set_defaults(func=cmd_history)
+
+    return parser
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Render an engine event log as a history report."""
+    from repro.engine.history import format_history, load_history
+
+    print(format_history(load_history(args.log_path)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""DBSCAN implementations: sequential, SEED-based Spark-parallel, the
+shuffle-based naive parallel baseline, and the MapReduce baseline."""
+
+from .core import NOISE, UNCLASSIFIED, ClusteringResult, Timings
+from .merge import (
+    MERGE_STRATEGIES,
+    MergeOutcome,
+    UnionFind,
+    merge_paper,
+    merge_partials,
+    merge_union_find,
+)
+from .params import k_distances, suggest_eps
+from .predict import DBSCANPredictor
+from .partial import SEED_POLICIES, PartialCluster, local_dbscan
+from .incremental import GridIndex, IncrementalDBSCAN
+from .mapreduce_job import MapReduceDBSCAN, MRDBSCANResult
+from .naive_spark import NaiveSparkDBSCAN, NaiveSparkResult
+from .sequential import core_point_mask, dbscan_sequential
+from .spark_job import SparkDBSCAN, SparkDBSCANResult
+from .spatial import SpatialSparkDBSCAN, spatial_order
+from .validation import (
+    adjusted_rand_index,
+    clusterings_equivalent,
+    rand_index,
+    relabel_canonical,
+)
+
+__all__ = [
+    "NOISE",
+    "UNCLASSIFIED",
+    "MapReduceDBSCAN",
+    "MRDBSCANResult",
+    "NaiveSparkDBSCAN",
+    "NaiveSparkResult",
+    "SpatialSparkDBSCAN",
+    "spatial_order",
+    "suggest_eps",
+    "k_distances",
+    "IncrementalDBSCAN",
+    "GridIndex",
+    "DBSCANPredictor",
+    "ClusteringResult",
+    "Timings",
+    "dbscan_sequential",
+    "core_point_mask",
+    "SparkDBSCAN",
+    "SparkDBSCANResult",
+    "PartialCluster",
+    "local_dbscan",
+    "SEED_POLICIES",
+    "MERGE_STRATEGIES",
+    "MergeOutcome",
+    "UnionFind",
+    "merge_partials",
+    "merge_union_find",
+    "merge_paper",
+    "clusterings_equivalent",
+    "rand_index",
+    "adjusted_rand_index",
+    "relabel_canonical",
+]

@@ -1,0 +1,218 @@
+"""Driver-side merging of partial clusters via SEEDs (Algorithm 4).
+
+A SEED in partial cluster ``Ci`` that is a *regular* element of partial
+cluster ``Cj`` proves the two pieces belong to one global cluster
+(Figure 4: C[0]'s seed 3000 is a regular element of C[5], so they
+merge).
+
+Two strategies:
+
+- ``"union_find"`` (default): connected components of the
+  seed-containment graph.  Handles arbitrary merge chains (A→B→C) and
+  is the correct closure of the paper's idea.
+- ``"paper"``: a literal single pass of Algorithm 4 — for each
+  unfinished cluster, dig its seeds, absorb each master, mark statuses.
+  Seeds of absorbed masters are *not* re-followed, so long chains can
+  stay split; Ablation B exhibits exactly that divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core import NOISE
+from .partial import PartialCluster
+
+MERGE_STRATEGIES = ("union_find", "paper")
+
+
+class UnionFind:
+    """Weighted quick-union with path halving."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+        self.components = n
+
+    def find(self, x: int) -> int:
+        """Union-find root of the given element."""
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Join two components; True if they were previously disjoint."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.components -= 1
+        return True
+
+
+@dataclass
+class MergeOutcome:
+    """Labels and bookkeeping produced by a merge strategy."""
+    labels: np.ndarray
+    num_merges: int
+    num_global_clusters: int
+    # paper-strategy diagnostics: indices of clusters left overlapping/split
+    overlapping_points: int = 0
+    groups: list[list[int]] = field(default_factory=list)  # partial idxs per global
+
+
+def _member_owner_map(partials: list[PartialCluster]) -> dict[int, int]:
+    """point index -> index (into ``partials``) of the cluster owning it
+    as a regular element.  Ownership is unique because each executor
+    assigns its own points to at most one partial cluster."""
+    owner: dict[int, int] = {}
+    for ci, c in enumerate(partials):
+        for m in c.members:
+            owner[m] = ci
+    return owner
+
+
+def _links_clusters(partials: list[PartialCluster], oi: int, s: int) -> bool:
+    """A seed ``s`` owned by cluster ``oi`` links the two clusters only if
+    ``s`` is a *core* member there — density-connectivity never passes
+    through a border point (two clusters may legitimately share one)."""
+    return partials[oi].is_core_member(s)
+
+
+def merge_union_find(partials: list[PartialCluster], n: int) -> MergeOutcome:
+    """Global clusters = connected components over core-seed-containment
+    edges."""
+    owner = _member_owner_map(partials)
+    uf = UnionFind(len(partials))
+    merges = 0
+    for ci, c in enumerate(partials):
+        for s in c.seeds:
+            oi = owner.get(s)
+            if (
+                oi is not None
+                and _links_clusters(partials, oi, s)
+                and uf.union(ci, oi)
+            ):
+                merges += 1
+
+    root_to_gid: dict[int, int] = {}
+    labels = np.full(n, NOISE, dtype=np.int64)
+    groups: dict[int, list[int]] = {}
+    for ci, c in enumerate(partials):
+        root = uf.find(ci)
+        gid = root_to_gid.setdefault(root, len(root_to_gid))
+        groups.setdefault(gid, []).append(ci)
+        for m in c.members:
+            labels[m] = gid
+    # Seeds that are regular members elsewhere already got their label.
+    # Unowned seeds are cross-partition *border* points: claimed by the
+    # first cluster that reached them (standard DBSCAN tie-breaking).
+    for ci, c in enumerate(partials):
+        gid = root_to_gid[uf.find(ci)]
+        for s in c.seeds:
+            if s not in owner and labels[s] == NOISE:
+                labels[s] = gid
+    return MergeOutcome(
+        labels=labels,
+        num_merges=merges,
+        num_global_clusters=len(root_to_gid),
+        groups=[groups[g] for g in sorted(groups)],
+    )
+
+
+def merge_paper(partials: list[PartialCluster], n: int) -> MergeOutcome:
+    """Literal Algorithm 4: one pass, no transitive re-digging.
+
+    For each cluster still ``unfinished``: identify its seeds, find each
+    seed's master cluster (the one holding it as a regular element),
+    absorb the master, mark the master ``finished``; finally mark the
+    current cluster ``finished``.  Absorbed masters are dropped from the
+    output.  Chains (a master whose own seeds point further) are NOT
+    followed — the documented limitation.
+    """
+    for c in partials:
+        c.status = "unfinished"
+    owner = _member_owner_map(partials)
+    absorbed: set[int] = set()
+    _absorber: dict[int, int] = {}  # absorbed partial -> its absorbing cluster
+    # group representative -> partial indices merged into it
+    merged_into: dict[int, list[int]] = {ci: [ci] for ci in range(len(partials))}
+    merges = 0
+    for ci, c in enumerate(partials):
+        if ci in absorbed or c.status != "unfinished":  # Algorithm 4 line 2
+            continue
+        for s in c.seeds:  # lines 3–8: only the *current* cluster's own
+            # seeds are dug; seeds of absorbed masters are never followed
+            # (the single-pass limitation).
+            oi = owner.get(s)
+            if oi is None or not _links_clusters(partials, oi, s):
+                continue
+            # Figure 4b semantics: after a merge, the master's elements are
+            # findable in the merged cluster — follow the redirect.
+            while oi in absorbed and oi != ci:
+                oi = _absorber[oi]
+            if oi == ci:
+                continue
+            group = merged_into.pop(oi)
+            merged_into[ci].extend(group)
+            for pi in group:
+                absorbed.add(pi)
+                _absorber[pi] = ci
+                partials[pi].status = "finished"  # line 7
+            merges += 1
+        c.status = "finished"  # line 9
+
+    labels = np.full(n, NOISE, dtype=np.int64)
+    groups: list[list[int]] = []
+    gid = 0
+    gid_of: dict[int, int] = {}
+    for ci in sorted(merged_into):
+        groups.append(merged_into[ci])
+        gid_of[ci] = gid
+        for pi in merged_into[ci]:
+            for m in partials[pi].members:
+                labels[m] = gid
+        gid += 1
+    # Border seeds, as in union-find merging.
+    for ci, group in zip(sorted(merged_into), groups):
+        for pi in group:
+            for s in partials[pi].seeds:
+                if s not in owner and labels[s] == NOISE:
+                    labels[s] = gid_of[ci]
+    return MergeOutcome(
+        labels=labels,
+        num_merges=merges,
+        num_global_clusters=gid,
+        groups=groups,
+    )
+
+
+def merge_partials(
+    partials: list[PartialCluster],
+    n: int,
+    strategy: str = "union_find",
+    min_cluster_size: int = 0,
+) -> MergeOutcome:
+    """Merge partial clusters into global labels.
+
+    ``min_cluster_size`` filters tiny *partial* clusters before merging —
+    the paper's r1m trick ("we filter out those partial clusters whose
+    size is too small", Section V-E).
+    """
+    if strategy not in MERGE_STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {MERGE_STRATEGIES}, got {strategy!r}"
+        )
+    if min_cluster_size > 0:
+        partials = [c for c in partials if c.size >= min_cluster_size]
+    if strategy == "union_find":
+        return merge_union_find(partials, n)
+    return merge_paper(partials, n)

@@ -1,0 +1,90 @@
+"""Parameter selection: the sorted k-dist heuristic.
+
+The paper takes (eps=25, minpts=5) as given for its Table I datasets.
+Downstream users need a way to pick them: the original DBSCAN paper
+[Ester et al. 1996, Section 4.2] proposes the *sorted k-dist graph* —
+plot each point's distance to its k-th nearest neighbour in descending
+order; the "valley" (knee) separates noise from cluster points and its
+height is a good eps.  ``minpts = k + 1`` is the matching threshold.
+
+`suggest_eps` automates the knee detection with the maximum-curvature
+(furthest-from-chord) rule; `k_distances` exposes the raw curve for
+callers who prefer to eyeball it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kdtree import KDTree
+
+
+def k_distances(
+    points: np.ndarray,
+    k: int = 4,
+    sample: int | None = 2000,
+    seed: int = 0,
+    tree: KDTree | None = None,
+) -> np.ndarray:
+    """Each (sampled) point's distance to its k-th nearest neighbour,
+    sorted descending — the k-dist curve of Ester et al.
+
+    ``k`` counts *other* points (the conventional definition), so the
+    query asks the tree for k+1 neighbours and drops the self-match.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n <= k:
+        raise ValueError(f"need more than k={k} points, got {n}")
+    if tree is None:
+        tree = KDTree(points)
+    if sample is not None and sample < n:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(n, size=sample, replace=False)
+    else:
+        idx = np.arange(n)
+    dists = np.empty(len(idx))
+    for out_i, i in enumerate(idx):
+        neigh = tree.query_knn(points[i], k + 1)
+        d = np.linalg.norm(points[neigh] - points[i], axis=1)
+        dists[out_i] = np.sort(d)[k]  # k-th non-self neighbour
+    return np.sort(dists)[::-1]
+
+
+def suggest_eps(
+    points: np.ndarray,
+    minpts: int = 5,
+    sample: int | None = 2000,
+    seed: int = 0,
+    tree: KDTree | None = None,
+) -> float:
+    """Suggest eps for a given minpts via the k-dist knee.
+
+    Uses ``k = minpts - 1`` (a point is core when its eps-ball holds
+    minpts points including itself).  The knee is the curve point with
+    maximum distance from the chord joining the curve's endpoints — the
+    standard automatic reading of "the first point in the first valley".
+    """
+    if minpts < 2:
+        raise ValueError(f"minpts must be >= 2, got {minpts}")
+    curve = k_distances(points, k=minpts - 1, sample=sample, seed=seed, tree=tree)
+    m = curve.size
+    if m < 3:
+        return float(curve[-1])
+    x = np.arange(m, dtype=np.float64)
+    # Normalise both axes so curvature is scale-free.
+    x /= x[-1]
+    y = curve.copy()
+    span = y[0] - y[-1]
+    if span <= 0:
+        return float(curve[0])
+    y = (y - y[-1]) / span
+    # Distance from each point to the chord (0, y0=1) -> (1, 0):
+    # the line x + y - 1 = 0 after normalisation.
+    dist_to_chord = np.abs(x + y - 1.0) / np.sqrt(2.0)
+    knee = int(np.argmax(dist_to_chord))
+    return float(curve[knee])

@@ -1,0 +1,295 @@
+"""Executor-side local clustering with SEED placement (Algorithms 2–3).
+
+Each executor owns a contiguous index range of points.  It runs DBSCAN
+expansion *only from its own points*; the full dataset's kd-tree (a
+broadcast variable) lets it see foreign neighbours, but instead of
+expanding them it records them as **SEEDs** — markers that let the
+driver discover which partial clusters belong to the same global
+cluster.  No executor⇄executor communication ever happens: that is the
+paper's central design point.
+
+Seed policies (DESIGN.md §4):
+
+- ``"all"`` (default): every foreign point reached is recorded as a
+  seed.  Guarantees exact equivalence with sequential DBSCAN (every
+  cross-partition density edge is witnessed, and every cross-partition
+  border point is retained).
+- ``"one_per_partition"``: the literal reading of Algorithm 3 — at most
+  one seed per foreign partition per partial cluster.  Cheaper, but can
+  drop cross-partition border points (Ablation A quantifies this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..engine.partitioner import IndexRangePartitioner
+from ..kdtree import KDTree
+
+SEED_POLICIES = ("all", "one_per_partition")
+
+
+@dataclass
+class OpCounters:
+    """Operation counts of one executor's run — the quantities the paper's
+    Section III-B data-structure analysis reasons about.
+
+    The paper: "The number of add operations should be the same as the
+    number of remove operations according to the condition in Line 9
+    (while loop will not terminate until it is empty)."  That invariant
+    (``queue_adds == queue_removes`` at completion) is checked in tests.
+    """
+
+    range_queries: int = 0       # kd-tree eps-neighbourhood lookups
+    queue_adds: int = 0          # Queue.add (Lines 7 and 17)
+    queue_removes: int = 0       # Queue.remove (Line 10)
+    hashtable_puts: int = 0      # visited/assignment writes (Line 11)
+    hashtable_lookups: int = 0   # containsKey (Lines 5, 7, 17)
+    seeds_placed: int = 0
+    seeds_skipped: int = 0       # suppressed by the one-per-partition cap
+
+    def merge(self, other: "OpCounters") -> "OpCounters":
+        """Merge another instance into this one; returns self."""
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+
+@dataclass
+class PartialCluster:
+    """One locally-built cluster, as shipped through the accumulator.
+
+    ``members`` are regular elements (indices inside the partition's
+    range); ``seeds`` are foreign indices.  ``status`` mirrors the
+    paper's unfinished/finished merge bookkeeping (Figure 4).
+
+    ``borders`` is the subset of ``members`` that are *not* core points.
+    The driver's merge needs it: density-connectivity only passes
+    through core points, so a SEED that is merely a border member of
+    another partial cluster must NOT merge the two (a border point
+    shared by two clusters is legal in DBSCAN and does not join them).
+    The paper's Algorithm 4 overlooks this distinction — see DESIGN.md
+    §4.
+    """
+
+    partition: int
+    local_id: int
+    lo: int                      # partition index range [lo, hi)
+    hi: int
+    members: list[int] = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
+    borders: set[int] = field(default_factory=set)
+    status: str = "unfinished"
+
+    def is_core_member(self, index: int) -> bool:
+        """True iff ``index`` is a member and a core point."""
+        return index not in self.borders
+
+    @property
+    def cid(self) -> tuple[int, int]:
+        """Globally-unique cluster id: (partition, local id)."""
+        return (self.partition, self.local_id)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return len(self.members) + len(self.seeds)
+
+    def owns(self, index: int) -> bool:
+        """True iff ``index`` is a *regular* element (in range, a member)."""
+        return self.lo <= index < self.hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartialCluster(p{self.partition}#{self.local_id}, "
+            f"range=[{self.lo},{self.hi}), members={len(self.members)}, "
+            f"seeds={len(self.seeds)}, {self.status})"
+        )
+
+
+def local_dbscan(
+    partition_id: int,
+    own_indices: Iterable[int],
+    points: np.ndarray,
+    tree: KDTree,
+    eps: float,
+    minpts: int,
+    partitioner: IndexRangePartitioner,
+    seed_policy: str = "all",
+    max_neighbors: int | None = None,
+    counters: OpCounters | None = None,
+) -> list[PartialCluster]:
+    """Build the partial clusters of one partition (Algorithm 2 lines 4–29).
+
+    ``own_indices`` is the iterator the executor receives for its
+    partition; every index must fall inside the partition's range.
+    Returns the partial clusters; noise is implicit (points of this
+    partition that are members of no partial cluster anywhere).
+
+    Pass an `OpCounters` to collect the Section III-B operation counts
+    (range queries, queue adds/removes, hashtable puts/lookups).
+    """
+    if seed_policy not in SEED_POLICIES:
+        raise ValueError(f"seed_policy must be one of {SEED_POLICIES}, got {seed_policy!r}")
+    if counters is not None:
+        return _local_dbscan_counted(
+            partition_id, own_indices, points, tree, eps, minpts, partitioner,
+            seed_policy, max_neighbors, counters,
+        )
+    lo, hi = partitioner.range_of(partition_id)
+
+    # The paper's Hashtable: point index -> visited/assigned state.
+    visited: dict[int, bool] = {}
+    assignment: dict[int, int] = {}
+    core_flag: dict[int, bool] = {}
+    partials: list[PartialCluster] = []
+    query = tree.query_radius
+
+    for i in own_indices:
+        i = int(i)
+        if not lo <= i < hi:
+            raise ValueError(
+                f"index {i} handed to partition {partition_id} whose range is "
+                f"[{lo}, {hi}) — partitioning is inconsistent"
+            )
+        if i in visited:  # Algorithm 2 line 5: already in hashtable
+            continue
+        visited[i] = True
+        neigh = query(points[i], eps, max_neighbors)
+        if len(neigh) < minpts:
+            core_flag[i] = False
+            continue  # noise unless claimed later as a border point
+        core_flag[i] = True
+        cluster = PartialCluster(
+            partition=partition_id, local_id=len(partials), lo=lo, hi=hi, members=[i]
+        )
+        assignment[i] = cluster.local_id
+        seeds_by_partition: dict[int, int] = {}
+        seed_set: set[int] = set()
+        # The Queue N of Algorithm 2 (LinkedList in the paper's Java).
+        queue: deque[int] = deque(int(x) for x in neigh)
+        while queue:
+            p = queue.popleft()
+            if lo <= p < hi:
+                # Own point: classic expansion (Algorithm 2 lines 13–22).
+                if p not in visited:
+                    visited[p] = True
+                    neigh2 = query(points[p], eps, max_neighbors)
+                    if len(neigh2) >= minpts:
+                        core_flag[p] = True
+                        queue.extend(int(x) for x in neigh2)
+                    else:
+                        core_flag[p] = False
+                if p not in assignment:
+                    assignment[p] = cluster.local_id
+                    cluster.members.append(p)
+                    if not core_flag[p]:
+                        cluster.borders.add(p)
+            else:
+                # Foreign point: SEED placement (Algorithm 3).  Never
+                # expanded — its home executor computes its neighbourhood.
+                if p in seed_set:
+                    continue
+                if seed_policy == "one_per_partition":
+                    par = partitioner.partition(p)
+                    if par in seeds_by_partition:
+                        continue  # Algorithm 3 line 11: one seed placed already
+                    seeds_by_partition[par] = p
+                seed_set.add(p)
+                cluster.seeds.append(p)
+        partials.append(cluster)
+    return partials
+
+
+def _local_dbscan_counted(
+    partition_id: int,
+    own_indices: Iterable[int],
+    points: np.ndarray,
+    tree: KDTree,
+    eps: float,
+    minpts: int,
+    partitioner: IndexRangePartitioner,
+    seed_policy: str,
+    max_neighbors: int | None,
+    c: OpCounters,
+) -> list[PartialCluster]:
+    """Instrumented twin of the `local_dbscan` hot loop.
+
+    Kept separate so the common path pays nothing for the counters;
+    tests assert both paths produce identical partial clusters.
+    """
+    lo, hi = partitioner.range_of(partition_id)
+    visited: dict[int, bool] = {}
+    assignment: dict[int, int] = {}
+    core_flag: dict[int, bool] = {}
+    partials: list[PartialCluster] = []
+    query = tree.query_radius
+
+    for i in own_indices:
+        i = int(i)
+        if not lo <= i < hi:
+            raise ValueError(
+                f"index {i} handed to partition {partition_id} whose range is "
+                f"[{lo}, {hi}) — partitioning is inconsistent"
+            )
+        c.hashtable_lookups += 1
+        if i in visited:
+            continue
+        visited[i] = True
+        c.hashtable_puts += 1
+        c.range_queries += 1
+        neigh = query(points[i], eps, max_neighbors)
+        if len(neigh) < minpts:
+            core_flag[i] = False
+            continue
+        core_flag[i] = True
+        cluster = PartialCluster(
+            partition=partition_id, local_id=len(partials), lo=lo, hi=hi, members=[i]
+        )
+        assignment[i] = cluster.local_id
+        c.hashtable_puts += 1
+        seeds_by_partition: dict[int, int] = {}
+        seed_set: set[int] = set()
+        queue: deque[int] = deque(int(x) for x in neigh)
+        c.queue_adds += len(neigh)
+        while queue:
+            p = queue.popleft()
+            c.queue_removes += 1
+            if lo <= p < hi:
+                c.hashtable_lookups += 1
+                if p not in visited:
+                    visited[p] = True
+                    c.hashtable_puts += 1
+                    c.range_queries += 1
+                    neigh2 = query(points[p], eps, max_neighbors)
+                    if len(neigh2) >= minpts:
+                        core_flag[p] = True
+                        queue.extend(int(x) for x in neigh2)
+                        c.queue_adds += len(neigh2)
+                    else:
+                        core_flag[p] = False
+                c.hashtable_lookups += 1
+                if p not in assignment:
+                    assignment[p] = cluster.local_id
+                    c.hashtable_puts += 1
+                    cluster.members.append(p)
+                    if not core_flag[p]:
+                        cluster.borders.add(p)
+            else:
+                if p in seed_set:
+                    continue
+                if seed_policy == "one_per_partition":
+                    par = partitioner.partition(p)
+                    if par in seeds_by_partition:
+                        c.seeds_skipped += 1
+                        continue
+                    seeds_by_partition[par] = p
+                seed_set.add(p)
+                cluster.seeds.append(p)
+                c.seeds_placed += 1
+        partials.append(cluster)
+    return partials

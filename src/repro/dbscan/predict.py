@@ -1,0 +1,81 @@
+"""Out-of-sample assignment: label new points against a fitted clustering.
+
+DBSCAN has no parametric model, but its density semantics give a
+natural rule for unseen points [consistent with Ester et al.]:
+
+- a new point within eps of a *core* point of cluster C belongs to C
+  (it would have been a border or core member had it been present);
+- otherwise it is noise.
+
+Ties (cores of several clusters within eps) go to the nearest core,
+which is also what an incremental insertion would most plausibly do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kdtree import KDTree
+from .core import NOISE
+
+
+class DBSCANPredictor:
+    """Frozen view of a fitted clustering, queryable for new points.
+
+    Parameters
+    ----------
+    points, labels:
+        The fitted dataset and its labels (from any of this package's
+        DBSCAN implementations).
+    eps, minpts:
+        The parameters the model was fitted with.
+    tree:
+        Optional prebuilt kd-tree over ``points``.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        labels: np.ndarray,
+        eps: float,
+        minpts: int,
+        tree: KDTree | None = None,
+    ):
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        labels = np.asarray(labels)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        if labels.shape != (points.shape[0],):
+            raise ValueError("labels must have one entry per point")
+        self.points = points
+        self.labels = labels.astype(np.int64)
+        self.eps = eps
+        self.minpts = minpts
+        self.tree = tree if tree is not None else KDTree(points)
+        # Core mask: a point is core iff it has >= minpts neighbours.
+        n = points.shape[0]
+        self._core = np.zeros(n, dtype=bool)
+        for i in range(n):
+            self._core[i] = self.tree.query_radius(points[i], eps).size >= minpts
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Cluster id for ``x``, or NOISE."""
+        x = np.asarray(x, dtype=np.float64)
+        neigh = self.tree.query_radius(x, self.eps)
+        cores = neigh[self._core[neigh]]
+        if cores.size == 0:
+            return NOISE
+        d = np.linalg.norm(self.points[cores] - x, axis=1)
+        return int(self.labels[cores[np.argmin(d)]])
+
+    def predict(self, xs: np.ndarray) -> np.ndarray:
+        """Vector of cluster ids (NOISE for outliers)."""
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        if xs.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {xs.shape}")
+        return np.array([self.predict_one(x) for x in xs], dtype=np.int64)
+
+    def would_be_core(self, x: np.ndarray) -> bool:
+        """Would ``x`` itself be a core point if inserted?  (Counts x.)"""
+        x = np.asarray(x, dtype=np.float64)
+        return self.tree.query_radius(x, self.eps).size + 1 >= self.minpts

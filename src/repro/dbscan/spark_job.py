@@ -1,0 +1,185 @@
+"""The paper's contribution end-to-end: DBSCAN as a Spark job (Algorithm 2).
+
+Driver side::
+
+    1. read / receive points, build the kd-tree          (driver)
+    2. broadcast tree + parameters                        (driver)
+    3. parallelize point indices into p range partitions  (driver)
+    4. foreachPartition: local DBSCAN with SEED placement (executors)
+    5. partial clusters flow back through an accumulator  (executors→driver)
+    6. dig SEEDs, merge partial clusters                  (driver)
+
+Executors never talk to each other — no shuffle stage exists anywhere
+in the job's lineage, which is the property the whole design buys.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine import LIST_CONCAT, SparkContext
+from ..engine.partitioner import IndexRangePartitioner
+from ..kdtree import KDTree
+from .core import ClusteringResult, Timings
+from .merge import MERGE_STRATEGIES, merge_partials
+from .partial import SEED_POLICIES, PartialCluster, local_dbscan
+
+
+@dataclass
+class SparkDBSCANResult(ClusteringResult):
+    """ClusteringResult plus the collected partial clusters (optional)."""
+
+    partials: list[PartialCluster] | None = None
+
+
+class SparkDBSCAN:
+    """Parallel DBSCAN with SEED-based shuffle-free merging.
+
+    Parameters
+    ----------
+    eps, minpts:
+        DBSCAN density parameters (paper Table I uses 25.0 / 5).
+    num_partitions:
+        Number of executor partitions; the paper runs one per core.
+    master:
+        Engine master URL; defaults to ``simulated[num_partitions]``
+        (serial execution with per-task timing, see DESIGN.md §2).
+        Use ``processes[k]`` for real parallel execution.
+    seed_policy:
+        ``"all"`` (exact, default) or ``"one_per_partition"``
+        (Algorithm 3 literal) — see `repro.dbscan.partial`.
+    merge_strategy:
+        ``"union_find"`` (default) or ``"paper"`` (Algorithm 4 literal).
+    max_neighbors:
+        Optional kd-tree pruning cap (the paper's r1m branch-pruning).
+    min_cluster_size:
+        Drop partial clusters smaller than this before merging (the
+        paper's r1m small-cluster filter).
+    leaf_size:
+        kd-tree leaf size.
+    keep_partials:
+        Retain partial clusters on the result for inspection.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        minpts: int,
+        num_partitions: int = 4,
+        master: str | None = None,
+        seed_policy: str = "all",
+        merge_strategy: str = "union_find",
+        max_neighbors: int | None = None,
+        min_cluster_size: int = 0,
+        leaf_size: int = 64,
+        keep_partials: bool = False,
+    ):
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if minpts < 1:
+            raise ValueError(f"minpts must be >= 1, got {minpts}")
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        if seed_policy not in SEED_POLICIES:
+            raise ValueError(f"unknown seed_policy {seed_policy!r}")
+        if merge_strategy not in MERGE_STRATEGIES:
+            raise ValueError(f"unknown merge_strategy {merge_strategy!r}")
+        self.eps = eps
+        self.minpts = minpts
+        self.num_partitions = num_partitions
+        self.master = master or f"simulated[{num_partitions}]"
+        self.seed_policy = seed_policy
+        self.merge_strategy = merge_strategy
+        self.max_neighbors = max_neighbors
+        self.min_cluster_size = min_cluster_size
+        self.leaf_size = leaf_size
+        self.keep_partials = keep_partials
+
+    def fit(
+        self,
+        points: np.ndarray,
+        sc: SparkContext | None = None,
+        tree: KDTree | None = None,
+    ) -> SparkDBSCANResult:
+        """Run the full job; returns labels plus the driver/executor
+        timing split the paper's figures are built from."""
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        n = points.shape[0]
+        timings = Timings()
+        wall_start = time.perf_counter()
+
+        # ---- driver: build the kd-tree over the whole dataset ----------
+        if tree is None:
+            t0 = time.perf_counter()
+            tree = KDTree(points, leaf_size=self.leaf_size)
+            timings.kdtree_build = time.perf_counter() - t0
+
+        own_sc = sc is None
+        if own_sc:
+            sc = SparkContext(self.master, app_name="spark-dbscan")
+        try:
+            partials = self._run_job(sc, points, tree, n, timings)
+            # ---- driver: dig SEEDs and merge (Algorithm 4) --------------
+            t0 = time.perf_counter()
+            outcome = merge_partials(
+                partials,
+                n,
+                strategy=self.merge_strategy,
+                min_cluster_size=self.min_cluster_size,
+            )
+            timings.driver_merge = time.perf_counter() - t0
+        finally:
+            if own_sc:
+                sc.stop()
+
+        timings.wall = time.perf_counter() - wall_start
+        return SparkDBSCANResult(
+            labels=outcome.labels,
+            timings=timings,
+            num_partial_clusters=len(partials),
+            num_seeds=sum(len(c.seeds) for c in partials),
+            num_merges=outcome.num_merges,
+            partials=partials if self.keep_partials else None,
+        )
+
+    def _run_job(
+        self,
+        sc: SparkContext,
+        points: np.ndarray,
+        tree: KDTree,
+        n: int,
+        timings: Timings,
+    ) -> list[PartialCluster]:
+        """Algorithm 2 lines 1–29: distribute, cluster locally, accumulate."""
+        partitioner = IndexRangePartitioner(n, self.num_partitions)
+        eps, minpts = self.eps, self.minpts
+        seed_policy, max_neighbors = self.seed_policy, self.max_neighbors
+
+        t0 = time.perf_counter()
+        tree_b = sc.broadcast(tree)
+        indices = sc.parallelize(range(n), self.num_partitions)
+        acc = sc.accumulator(LIST_CONCAT)
+        timings.setup = time.perf_counter() - t0
+
+        def run_partition(pid: int, it) -> None:
+            t = tree_b.value
+            result = local_dbscan(
+                pid, it, t.points, t, eps, minpts, partitioner,
+                seed_policy=seed_policy, max_neighbors=max_neighbors,
+            )
+            # Algorithm 2 lines 26–28: ship partial clusters to the driver
+            # through the accumulator as the task finishes.
+            acc.add(result)
+
+        indices.foreach_partition_with_index(run_partition)
+
+        durations = sc.last_job_metrics.task_durations()
+        timings.executor_task_durations = durations
+        timings.executor_total = sum(durations)
+        timings.executor_max = max(durations) if durations else 0.0
+        return list(acc.value)

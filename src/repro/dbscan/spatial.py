@@ -1,0 +1,62 @@
+"""Spatial partitioning — the paper's stated future work, implemented.
+
+Section VI: "We did not partition data points based on the
+neighbourhood relationship in our work and that might cause workload to
+be unbalanced. So, in the future, we will consider partitioning the
+input data points before they are assigned to executors."
+
+The SEED mechanism works on index ranges, so spatial partitioning
+reduces to *reordering indices spatially* and reusing the whole
+pipeline unchanged.  We reorder by kd-tree leaf order: the tree's
+median splits recursively bisect space, so consecutive permuted indices
+are spatial neighbours and contiguous index ranges become compact
+spatial cells.  Consequences measured in the ablation benches: far
+fewer cross-partition SEEDs and partial clusters, cheaper driver-side
+merging.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..kdtree import KDTree
+from .core import Timings
+from .spark_job import SparkDBSCAN, SparkDBSCANResult
+
+
+def spatial_order(points: np.ndarray, leaf_size: int = 64) -> np.ndarray:
+    """Permutation putting spatially-near points at nearby indices.
+
+    Uses the kd-tree build permutation: leaves are contiguous blocks of
+    mutually-close points, visited in space-partition order.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    tree = KDTree(points, leaf_size=leaf_size)
+    return tree._perm.copy()
+
+
+class SpatialSparkDBSCAN(SparkDBSCAN):
+    """`SparkDBSCAN` with neighbourhood-aware partitioning.
+
+    Points are spatially reordered before index-range partitioning;
+    labels are mapped back to the caller's original point order, so the
+    API is a drop-in replacement.
+    """
+
+    def fit(self, points, sc=None, tree=None) -> SparkDBSCANResult:
+        """Run the clustering over the given points."""
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        t0 = time.perf_counter()
+        perm = spatial_order(points, leaf_size=self.leaf_size)
+        reorder_time = time.perf_counter() - t0
+        reordered = points[perm]
+        result = super().fit(reordered, sc=sc, tree=None)
+        # Undo the permutation: reordered[k] is original point perm[k].
+        labels = np.empty_like(result.labels)
+        labels[perm] = result.labels
+        result.labels = labels
+        result.timings.setup += reorder_time
+        result.timings.wall += reorder_time
+        return result

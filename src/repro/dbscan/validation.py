@@ -1,0 +1,170 @@
+"""Clustering validation: equivalence checks and agreement indices.
+
+The paper states "all parallel executions generate the same result as
+the serial execution" (Section V).  Exact label equality is the wrong
+test — cluster ids are arbitrary and DBSCAN border points may be
+legitimately assigned to either of two adjacent clusters depending on
+visit order.  `clusterings_equivalent` therefore checks the strongest
+property that is actually order-invariant:
+
+1. identical noise sets restricted to *core-reachable* structure:
+   a point is noise in one labelling iff it is noise in the other,
+   except border points (non-core points with a core neighbour) which
+   must be clustered in both;
+2. core points are partitioned identically (same-cluster relation
+   restricted to core points matches exactly);
+3. every border point's cluster contains a core point within eps of it
+   (its assignment is *valid*, even if the two labelings disagree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kdtree import KDTree
+from .core import NOISE
+
+
+def relabel_canonical(labels: np.ndarray) -> np.ndarray:
+    """Renumber cluster ids by order of first appearance (noise preserved)."""
+    labels = np.asarray(labels)
+    out = np.full(labels.shape, NOISE, dtype=np.int64)
+    mapping: dict[int, int] = {}
+    for i, lab in enumerate(labels):
+        if lab < 0:
+            continue
+        if lab not in mapping:
+            mapping[lab] = len(mapping)
+        out[i] = mapping[lab]
+    return out
+
+
+def clusterings_equivalent(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    tree: KDTree | None = None,
+    core: np.ndarray | None = None,
+) -> tuple[bool, str]:
+    """DBSCAN-aware equivalence (see module docstring).
+
+    Returns ``(ok, reason)``; ``reason`` pinpoints the first violation.
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if labels_a.shape != (n,) or labels_b.shape != (n,):
+        return False, "label arrays have wrong shape"
+    if tree is None:
+        tree = KDTree(points)
+    if core is None:
+        core = np.zeros(n, dtype=bool)
+        for i in range(n):
+            core[i] = tree.query_radius(points[i], eps).size >= minpts
+
+    # 1. Noise agreement.  Core points can never be noise; non-core points
+    # are noise iff no core point lies within eps (border otherwise).
+    for name, lab in (("A", labels_a), ("B", labels_b)):
+        bad = np.flatnonzero(core & (lab == NOISE))
+        if bad.size:
+            return False, f"labelling {name}: core point {bad[0]} marked noise"
+    disagree = np.flatnonzero((labels_a == NOISE) != (labels_b == NOISE))
+    if disagree.size:
+        i = int(disagree[0])
+        return False, (
+            f"point {i} noise in one labelling but clustered in the other "
+            f"(A={labels_a[i]}, B={labels_b[i]})"
+        )
+
+    # 2. Core partition must match exactly: same-cluster relation on cores.
+    core_idx = np.flatnonzero(core)
+    map_ab: dict[int, int] = {}
+    map_ba: dict[int, int] = {}
+    for i in core_idx:
+        a, b = int(labels_a[i]), int(labels_b[i])
+        if map_ab.setdefault(a, b) != b:
+            return False, (
+                f"core cluster split: A-cluster {a} maps to both "
+                f"{map_ab[a]} and {b} in B (witness core point {i})"
+            )
+        if map_ba.setdefault(b, a) != a:
+            return False, (
+                f"core cluster merged: B-cluster {b} maps to both "
+                f"{map_ba[b]} and {a} in A (witness core point {i})"
+            )
+
+    # 3. Border points: assignment must be *valid* in both labellings.
+    border_idx = np.flatnonzero(~core & (labels_a != NOISE))
+    for i in border_idx:
+        neigh = tree.query_radius(points[i], eps)
+        for lab in (labels_a, labels_b):
+            cid = lab[i]
+            if not any(core[j] and lab[j] == cid for j in neigh):
+                return False, (
+                    f"border point {i} assigned to cluster {cid} with no "
+                    "core point of that cluster within eps"
+                )
+    return True, "equivalent"
+
+
+def rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index over all point pairs (noise treated as singleton ids)."""
+    a = _noise_as_singletons(np.asarray(labels_a))
+    b = _noise_as_singletons(np.asarray(labels_b))
+    n = a.size
+    if n != b.size:
+        raise ValueError("label arrays differ in length")
+    if n < 2:
+        return 1.0
+    c = _contingency(a, b)
+    sum_sq = float((c.astype(np.float64) ** 2).sum())
+    sum_a = float((c.sum(axis=1).astype(np.float64) ** 2).sum())
+    sum_b = float((c.sum(axis=0).astype(np.float64) ** 2).sum())
+    pairs = n * (n - 1) / 2
+    same_same = (sum_sq - n) / 2
+    diff_diff = pairs - (sum_a - n) / 2 - (sum_b - n) / 2 + same_same
+    return float((same_same + diff_diff) / pairs)
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index (chance-corrected agreement)."""
+    a = _noise_as_singletons(np.asarray(labels_a))
+    b = _noise_as_singletons(np.asarray(labels_b))
+    n = a.size
+    if n != b.size:
+        raise ValueError("label arrays differ in length")
+    c = _contingency(a, b)
+
+    def comb2(x: np.ndarray) -> float:
+        return float((x * (x - 1) / 2).sum())
+
+    sum_comb = comb2(c.astype(np.float64))
+    sum_a = comb2(c.sum(axis=1).astype(np.float64))
+    sum_b = comb2(c.sum(axis=0).astype(np.float64))
+    total = n * (n - 1) / 2
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = (sum_a + sum_b) / 2
+    if max_index == expected:
+        return 1.0
+    return float((sum_comb - expected) / (max_index - expected))
+
+
+def _noise_as_singletons(labels: np.ndarray) -> np.ndarray:
+    """Give each noise point its own cluster id so indices compare sanely."""
+    out = labels.astype(np.int64).copy()
+    next_id = int(out.max(initial=-1)) + 1
+    for i in np.flatnonzero(out == NOISE):
+        out[i] = next_id
+        next_id += 1
+    return out
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    ua, ia = np.unique(a, return_inverse=True)
+    ub, ib = np.unique(b, return_inverse=True)
+    c = np.zeros((ua.size, ub.size), dtype=np.int64)
+    np.add.at(c, (ia, ib), 1)
+    return c

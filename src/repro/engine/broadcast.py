@@ -1,0 +1,117 @@
+"""Broadcast variables: read-only values cached once per executor.
+
+Spark semantics (paper Section IV-B): a broadcast variable is shipped to
+each executor *once* and cached there, instead of being serialized into
+every task closure.  We reproduce that with a file-backed store — the
+driver pickles the value to a spill directory; each worker process
+lazily loads it on first access and caches it in a process-local dict.
+For in-process backends (local/threads/simulated) the cache is shared
+and no deserialization happens at all.
+
+The per-process cache is the observable behaviour the paper relies on:
+the kd-tree over the full dataset is broadcast and must not be re-sent
+per task.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+# Process-local cache: broadcast id -> deserialized value.  In a worker
+# process this is populated on first access; in the driver process it is
+# populated at creation time.
+_local_cache: dict[int, Any] = {}
+_cache_lock = threading.Lock()
+# Count of file loads, exposed for tests asserting once-per-executor delivery.
+_load_counts: dict[int, int] = {}
+
+
+def _reset_process_cache() -> None:
+    """Test hook: clear the process-local broadcast cache."""
+    with _cache_lock:
+        _local_cache.clear()
+        _load_counts.clear()
+
+
+class Broadcast(Generic[T]):
+    """Handle to a broadcast value.
+
+    Only the (id, path) pair travels inside task closures; `.value`
+    resolves through the process-local cache.
+    """
+
+    def __init__(self, bid: int, value: T, spill_dir: str | None):
+        self.bid = bid
+        self._path: str | None = None
+        with _cache_lock:
+            _local_cache[bid] = value
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+            fd, path = tempfile.mkstemp(prefix=f"bcast-{bid}-", dir=spill_dir)
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            self._path = path
+
+    @property
+    def value(self) -> T:
+        """The current value."""
+        with _cache_lock:
+            if self.bid in _local_cache:
+                return _local_cache[self.bid]
+        if self._path is None:
+            raise RuntimeError(
+                f"broadcast {self.bid} not in cache and has no backing file"
+            )
+        with open(self._path, "rb") as f:
+            value = pickle.load(f)
+        with _cache_lock:
+            _local_cache[self.bid] = value
+            _load_counts[self.bid] = _load_counts.get(self.bid, 0) + 1
+        return value
+
+    def unpersist(self) -> None:
+        """Drop the cached value in this process (and the backing file)."""
+        with _cache_lock:
+            _local_cache.pop(self.bid, None)
+        if self._path is not None and os.path.exists(self._path):
+            os.unlink(self._path)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Never ship the value itself through task serialization: that is
+        # exactly the anti-pattern broadcast variables exist to avoid.
+        return {"bid": self.bid, "_path": self._path}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.bid = state["bid"]
+        self._path = state["_path"]
+
+
+class BroadcastManager:
+    """Driver-side factory handing out monotonically-numbered broadcasts."""
+
+    def __init__(self, spill_dir: str | None):
+        self._next_id = 0
+        self._spill_dir = spill_dir
+        self._lock = threading.Lock()
+        self._issued: list[Broadcast[Any]] = []
+
+    def new_broadcast(self, value: T) -> Broadcast[T]:
+        """Create and register a broadcast value."""
+        with self._lock:
+            bid = self._next_id
+            self._next_id += 1
+        b = Broadcast(bid, value, self._spill_dir)
+        self._issued.append(b)
+        return b
+
+    def stop(self) -> None:
+        """Shut the component down and release resources."""
+        for b in self._issued:
+            b.unpersist()
+        self._issued.clear()

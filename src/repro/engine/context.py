@@ -1,0 +1,154 @@
+"""`SparkContext`: the driver-side entry point tying the engine together.
+
+    with SparkContext("processes[4]") as sc:
+        rdd = sc.parallelize(range(1000), 4)
+        total = rdd.map(lambda x: x * x).sum()
+
+Responsibilities (paper Section II-B): owning the backend (executor
+pool), the block manager, shuffle manager, broadcast variables and
+accumulators, and submitting jobs through the DAG scheduler.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+from .accumulator import (
+    INT_SUM,
+    LIST_CONCAT,
+    Accumulator,
+    AccumulatorParam,
+    AccumulatorRegistry,
+)
+from .backends import make_backend, parse_master
+from .broadcast import Broadcast, BroadcastManager
+from .dag_scheduler import DAGScheduler
+from .errors import ContextStoppedError
+from .event_log import EventLog
+from .fault import FaultPlan
+from .metrics import JobMetrics
+from .rdd import RDD, ParallelCollectionRDD, SourceRDD
+from .shuffle import ShuffleManager
+from .sources import LocalTextFileSource
+from .storage import BlockManager
+from .task_scheduler import TaskScheduler
+
+T = TypeVar("T")
+
+
+class SparkContext:
+    """Driver-side entry point owning backend, storage, and scheduler."""
+    def __init__(
+        self,
+        master: str = "local",
+        app_name: str = "repro",
+        spill_dir: str | None = None,
+        max_task_failures: int = 4,
+        event_log_path: str | None = None,
+        speculation: bool = False,
+        speculation_multiplier: float = 2.0,
+    ):
+        self.master = master
+        self.app_name = app_name
+        self.mode, self.default_parallelism = parse_master(master)
+        self._own_spill_dir = spill_dir is None
+        self.spill_dir = spill_dir or tempfile.mkdtemp(prefix="minispark-")
+        self.block_manager = BlockManager(spill_dir=self.spill_dir)
+        self.shuffle_manager = ShuffleManager(self.spill_dir)
+        self.broadcast_manager = BroadcastManager(
+            self.spill_dir if self.mode == "processes" else None
+        )
+        self.accumulators = AccumulatorRegistry()
+        self.backend = make_backend(master, self.block_manager)
+        self.task_scheduler = TaskScheduler(
+            self.backend,
+            max_task_failures,
+            speculation=speculation,
+            speculation_multiplier=speculation_multiplier,
+        )
+        self.dag_scheduler = DAGScheduler(
+            self.task_scheduler, self.shuffle_manager, self.accumulators
+        )
+        self.fault_plan = FaultPlan()  # injected faults/stragglers for tests
+        self.event_log = EventLog(event_log_path)
+        self.event_log.emit("app_start", app_name=app_name, master=master)
+        self._stopped = False
+
+    # -- RDD creation ---------------------------------------------------------
+    def parallelize(self, data: Iterable[T], num_partitions: int | None = None) -> RDD[T]:
+        """Slice an in-memory collection into an RDD."""
+        self._check_running()
+        if num_partitions is None:
+            num_partitions = self.default_parallelism
+        return ParallelCollectionRDD(self, data, num_partitions)
+
+    def text_file(self, path: str, num_partitions: int | None = None) -> RDD[str]:
+        """RDD of lines from a local text file, split HDFS-style."""
+        self._check_running()
+        source = LocalTextFileSource(path, num_partitions or self.default_parallelism)
+        return SourceRDD(self, source)
+
+    def from_source(self, source: Any) -> RDD[Any]:
+        """RDD over any object with ``num_splits()``/``read_split(i)``
+        (e.g. a `repro.hdfs.HdfsFile`)."""
+        self._check_running()
+        return SourceRDD(self, source)
+
+    # -- shared variables -------------------------------------------------------
+    def broadcast(self, value: T) -> Broadcast[T]:
+        """Create a read-only shared variable cached per executor."""
+        self._check_running()
+        return self.broadcast_manager.new_broadcast(value)
+
+    def accumulator(self, param: AccumulatorParam[T] = INT_SUM) -> Accumulator[T]:
+        """Create an add-only shared variable merged at the driver."""
+        self._check_running()
+        return self.accumulators.new_accumulator(param)
+
+    def list_accumulator(self) -> Accumulator[list]:
+        """Accumulator collecting lists — the paper's channel for partial
+        clusters (Section IV-B: "we use it to implement bringing back the
+        partial clusters")."""
+        return self.accumulator(LIST_CONCAT)
+
+    # -- job execution ------------------------------------------------------------
+    def run_job(self, rdd: RDD[T], func: Callable[[int, Iterator[T]], Any]) -> list[Any]:
+        """Execute an action over the RDD; returns per-partition results."""
+        self._check_running()
+        results = self.dag_scheduler.run_job(rdd, func, fault_plan=self.fault_plan)
+        self.event_log.record_job(self.dag_scheduler.job_metrics[-1])
+        return results
+
+    @property
+    def last_job_metrics(self) -> JobMetrics:
+        """Metrics of the most recent job."""
+        if not self.dag_scheduler.job_metrics:
+            raise ValueError("no job has run yet")
+        return self.dag_scheduler.job_metrics[-1]
+
+    # -- lifecycle ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Shut the component down and release resources."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.event_log.emit("app_end", app_name=self.app_name)
+        self.event_log.close()
+        self.backend.shutdown()
+        self.broadcast_manager.stop()
+        self.block_manager.clear()
+        self.shuffle_manager.clear()
+        if self._own_spill_dir:
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
+
+    def _check_running(self) -> None:
+        if self._stopped:
+            raise ContextStoppedError("SparkContext is stopped")
+
+    def __enter__(self) -> "SparkContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

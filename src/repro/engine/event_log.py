@@ -1,0 +1,86 @@
+"""Spark-style event log: a JSON-lines record of everything a context ran.
+
+Real Spark writes an event log that the History Server renders; ours
+serves the same purposes at mini scale — post-hoc debugging of job
+structure and machine-readable timing extraction for the benchmark
+harness.  Events: job start/end, stage submission, task attempts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, TextIO
+
+from .metrics import JobMetrics
+
+
+class EventLog:
+    """Collects engine events; optionally streams them to a file."""
+
+    def __init__(self, path: str | None = None):
+        self.events: list[dict[str, Any]] = []
+        self._fh: TextIO | None = open(path, "w") if path else None
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Append an event (and stream it to the log file, if any)."""
+        event = {"event": kind, "time": time.time(), **fields}
+        self.events.append(event)
+        if self._fh is not None:
+            self._fh.write(json.dumps(event) + "\n")
+            self._fh.flush()
+
+    def job_events(self, job_id: int) -> list[dict[str, Any]]:
+        """Events belonging to one job."""
+        return [e for e in self.events if e.get("job_id") == job_id]
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """Events of one kind."""
+        return [e for e in self.events if e["event"] == kind]
+
+    def record_job(self, metrics: JobMetrics) -> None:
+        """Summarise a completed job from its metrics object."""
+        self.emit(
+            "job_end",
+            job_id=metrics.job_id,
+            wall_time=metrics.wall_time,
+            num_stages=len(metrics.stages),
+            total_task_time=metrics.total_executor_time,
+        )
+        for stage in metrics.stages:
+            self.emit(
+                "stage_end",
+                job_id=metrics.job_id,
+                stage_id=stage.stage_id,
+                num_tasks=stage.num_tasks,
+                total_task_time=stage.total_task_time,
+                max_task_time=stage.max_task_time,
+            )
+            for t in stage.task_metrics:
+                self.emit(
+                    "task_end",
+                    job_id=metrics.job_id,
+                    stage_id=t.stage_id,
+                    partition=t.partition,
+                    attempt=t.attempt,
+                    succeeded=t.succeeded,
+                    run_time=t.run_time,
+                    shuffle_bytes_written=t.shuffle_bytes_written,
+                )
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def load_event_log(path: str) -> list[dict[str, Any]]:
+    """Read a JSON-lines event log back."""
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

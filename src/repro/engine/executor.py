@@ -1,0 +1,147 @@
+"""Task execution: what runs on an executor.
+
+A `Task` bundles everything needed to compute one partition of one
+stage: the stage's final RDD (with its narrow lineage), resolved
+shuffle-input paths, a fault plan, and either a result function or
+shuffle-write instructions.  `run_task` executes it against an
+executor-local `BlockManager`, installing a `TaskContext` so that
+accumulators and metrics behave with Spark semantics.
+
+Worker processes get a process-global block manager, mirroring Spark's
+one-block-manager-per-executor layout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from . import task_context
+from .errors import TaskError
+from .fault import FaultPlan
+from .metrics import TaskMetrics
+from .rdd import RDD, TaskRuntime
+from .storage import BlockManager
+
+
+@dataclass
+class Task:
+    """Everything an executor needs to compute one partition of one stage."""
+    job_id: int
+    stage_id: int
+    partition: int
+    attempt: int
+    rdd: RDD[Any]
+    kind: str  # "result" | "shuffle_map"
+    func: Callable[[int, Any], Any] | None = None      # result tasks
+    partitioner: Any = None                             # shuffle-map tasks
+    shuffle_id: int = -1
+    bucket_dir: str = ""
+    shuffle_inputs: dict[tuple[int, int], list[str]] = field(default_factory=dict)
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+
+
+@dataclass
+class TaskOutcome:
+    """Result envelope of one task attempt."""
+    stage_id: int
+    partition: int
+    attempt: int
+    succeeded: bool
+    value: Any = None
+    error: str = ""
+    metrics: TaskMetrics | None = None
+    acc_updates: dict[int, Any] = field(default_factory=dict)
+    map_output_paths: dict[int, str] = field(default_factory=dict)
+
+
+def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
+    """Execute one task attempt; never raises — failures become outcomes."""
+    metrics = TaskMetrics(task.stage_id, task.partition, task.attempt)
+    ctx = task_context.TaskContext(task.stage_id, task.partition, task.attempt, metrics)
+    start = time.perf_counter()
+    try:
+        with task_context.activate(ctx):
+            task.fault_plan.check(task.stage_id, task.partition, task.attempt)
+            delay = task.fault_plan.delay_for(task.stage_id, task.partition)
+            if delay > 0:
+                time.sleep(delay)
+            runtime = TaskRuntime(block_manager, task.shuffle_inputs)
+            if task.kind == "result":
+                assert task.func is not None
+                value = task.func(task.partition, task.rdd.iterator(task.partition, runtime))
+                map_paths: dict[int, str] = {}
+            elif task.kind == "shuffle_map":
+                from .shuffle import write_map_output
+
+                records = task.rdd.iterator(task.partition, runtime)
+                map_paths, nbytes = write_map_output(
+                    task.bucket_dir,
+                    task.shuffle_id,
+                    task.partition,
+                    records,
+                    task.partitioner,
+                )
+                metrics.shuffle_bytes_written = nbytes
+                value = None
+            else:  # pragma: no cover - guarded by construction
+                raise ValueError(f"unknown task kind {task.kind!r}")
+        metrics.run_time = time.perf_counter() - start
+        metrics.succeeded = True
+        return TaskOutcome(
+            task.stage_id,
+            task.partition,
+            task.attempt,
+            succeeded=True,
+            value=value,
+            metrics=metrics,
+            acc_updates=dict(ctx.acc_updates),
+            map_output_paths=map_paths,
+        )
+    except BaseException as exc:  # noqa: BLE001 - report, scheduler decides
+        metrics.run_time = time.perf_counter() - start
+        err = TaskError(task.stage_id, task.partition, task.attempt, exc)
+        return TaskOutcome(
+            task.stage_id,
+            task.partition,
+            task.attempt,
+            succeeded=False,
+            error=str(err),
+            metrics=metrics,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker-process entry points (process backend).  Each worker process keeps
+# one block manager for its lifetime — "one per executor", like Spark.
+# ---------------------------------------------------------------------------
+
+_worker_block_manager: BlockManager | None = None
+
+
+def _get_worker_block_manager() -> BlockManager:
+    global _worker_block_manager
+    if _worker_block_manager is None:
+        _worker_block_manager = BlockManager()
+    return _worker_block_manager
+
+
+def process_entry(blob: bytes) -> bytes:
+    """Run a cloudpickled Task in a worker process; return a pickled outcome."""
+    import cloudpickle
+
+    task: Task = cloudpickle.loads(blob)
+    outcome = run_task(task, _get_worker_block_manager())
+    try:
+        return cloudpickle.dumps(outcome)
+    except Exception as exc:  # unpicklable result value
+        fallback = TaskOutcome(
+            task.stage_id,
+            task.partition,
+            task.attempt,
+            succeeded=False,
+            error=f"task result not serializable: {exc!r}",
+            metrics=outcome.metrics,
+        )
+        return cloudpickle.dumps(fallback)

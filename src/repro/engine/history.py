@@ -1,0 +1,127 @@
+"""History report: render an event log the way Spark's History Server does.
+
+Takes the JSON-lines event log written by ``SparkContext(...,
+event_log_path=...)`` and produces a human-readable per-job / per-stage
+summary: task counts, failures, total and max task times, shuffle
+volume.  Exposed on the CLI as ``python -m repro history <log>``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from .event_log import load_event_log
+
+
+@dataclass
+class StageSummary:
+    """Aggregated view of one stage from the event log."""
+    stage_id: int
+    num_tasks: int = 0
+    failed_attempts: int = 0
+    total_task_time: float = 0.0
+    max_task_time: float = 0.0
+    shuffle_bytes_written: int = 0
+
+
+@dataclass
+class JobSummary:
+    """Aggregated view of one job from the event log."""
+    job_id: int
+    wall_time: float = 0.0
+    stages: dict[int, StageSummary] = field(default_factory=dict)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages in the job."""
+        return len(self.stages)
+
+    @property
+    def failed_attempts(self) -> int:
+        """Total failed task attempts across stages."""
+        return sum(s.failed_attempts for s in self.stages.values())
+
+
+@dataclass
+class AppHistory:
+    """Whole-application summary from the event log."""
+    app_name: str = "?"
+    master: str = "?"
+    jobs: dict[int, JobSummary] = field(default_factory=dict)
+
+    @property
+    def total_tasks(self) -> int:
+        """Total distinct tasks across all jobs."""
+        return sum(
+            s.num_tasks for j in self.jobs.values() for s in j.stages.values()
+        )
+
+
+def summarize_events(events: list[dict[str, Any]]) -> AppHistory:
+    """Fold raw events into an `AppHistory`."""
+    app = AppHistory()
+    task_seen: dict[tuple[int, int], set[int]] = defaultdict(set)
+    for e in events:
+        kind = e["event"]
+        if kind == "app_start":
+            app.app_name = e.get("app_name", "?")
+            app.master = e.get("master", "?")
+        elif kind == "job_end":
+            app.jobs[e["job_id"]] = JobSummary(
+                job_id=e["job_id"], wall_time=e.get("wall_time", 0.0)
+            )
+        elif kind == "stage_end":
+            job = app.jobs.setdefault(e["job_id"], JobSummary(e["job_id"]))
+            job.stages[e["stage_id"]] = StageSummary(
+                stage_id=e["stage_id"],
+                total_task_time=e.get("total_task_time", 0.0),
+                max_task_time=e.get("max_task_time", 0.0),
+            )
+        elif kind == "task_end":
+            job = app.jobs.setdefault(e["job_id"], JobSummary(e["job_id"]))
+            stage = job.stages.setdefault(
+                e["stage_id"], StageSummary(e["stage_id"])
+            )
+            if e.get("succeeded"):
+                key = (e["job_id"], e["stage_id"])
+                if e["partition"] not in task_seen[key]:
+                    stage.num_tasks += 1
+                    task_seen[key].add(e["partition"])
+            else:
+                stage.failed_attempts += 1
+            stage.shuffle_bytes_written += e.get("shuffle_bytes_written", 0)
+    return app
+
+
+def load_history(path: str) -> AppHistory:
+    """Read an event-log file and summarise it."""
+    return summarize_events(load_event_log(path))
+
+
+def format_history(app: AppHistory) -> str:
+    """Render the summary as text."""
+    lines = [
+        f"application: {app.app_name} (master={app.master})",
+        f"jobs: {len(app.jobs)}   tasks: {app.total_tasks}",
+        "",
+        f"{'job':>4} {'stages':>6} {'wall (s)':>9} {'failures':>8}",
+    ]
+    for job in sorted(app.jobs.values(), key=lambda j: j.job_id):
+        lines.append(
+            f"{job.job_id:>4} {job.num_stages:>6} {job.wall_time:>9.3f} "
+            f"{job.failed_attempts:>8}"
+        )
+        for stage in sorted(job.stages.values(), key=lambda s: s.stage_id):
+            lines.append(
+                f"     stage {stage.stage_id}: {stage.num_tasks} tasks, "
+                f"{stage.total_task_time:.3f}s total, "
+                f"{stage.max_task_time:.3f}s max"
+                + (
+                    f", {stage.shuffle_bytes_written} shuffle bytes"
+                    if stage.shuffle_bytes_written
+                    else ""
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Partitioners: decide which output partition a key belongs to.
+
+These mirror Spark's ``HashPartitioner`` and ``RangePartitioner``.  The
+paper's DBSCAN partitions point *indices* into contiguous ranges
+(Section IV-A: "If the current point's index is beyond the range of the
+current partition it is taken as a SEED"), which is exactly what
+`IndexRangePartitioner` provides.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+from typing import Any
+
+
+class Partitioner:
+    """Base partitioner interface."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        """Output partition for the given key."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:  # pragma: no cover - identity-ish hash
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Partition by ``hash(key) mod p`` — Spark's default for shuffles."""
+
+    def partition(self, key: Any) -> int:
+        """Output partition for the given key."""
+        return hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Partition ordered keys into contiguous ranges given split bounds.
+
+    ``bounds`` has ``num_partitions - 1`` ascending elements; keys <=
+    bounds[i] land in partition i.
+    """
+
+    def __init__(self, bounds: Sequence[Any]):
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+        if any(self.bounds[i] > self.bounds[i + 1] for i in range(len(self.bounds) - 1)):
+            raise ValueError("RangePartitioner bounds must be ascending")
+
+    def partition(self, key: Any) -> int:
+        """Output partition for the given key."""
+        return bisect.bisect_left(self.bounds, key)
+
+
+class IndexRangePartitioner(Partitioner):
+    """Contiguous index ranges over ``0..n-1``, the paper's partitioning.
+
+    Partition ``i`` owns indices ``[start(i), end(i))`` with sizes as even
+    as possible (the first ``n % p`` partitions get one extra element).
+    """
+
+    def __init__(self, n: int, num_partitions: int):
+        super().__init__(num_partitions)
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self.n = n
+        base, extra = divmod(n, num_partitions)
+        starts = [0]
+        for i in range(num_partitions):
+            starts.append(starts[-1] + base + (1 if i < extra else 0))
+        self._starts = starts  # length p + 1; _starts[p] == n
+
+    def range_of(self, partition: int) -> tuple[int, int]:
+        """Return the half-open index range ``[start, end)`` of a partition."""
+        if not 0 <= partition < self.num_partitions:
+            raise IndexError(f"partition {partition} out of range")
+        return self._starts[partition], self._starts[partition + 1]
+
+    def partition(self, key: int) -> int:
+        """Output partition for the given key."""
+        if not 0 <= key < self.n:
+            raise IndexError(f"index {key} outside [0, {self.n})")
+        # binary search over starts: rightmost start <= key
+        return bisect.bisect_right(self._starts, key) - 1
+
+    def owns(self, partition: int, key: int) -> bool:
+        """True iff ``key`` falls inside ``partition``'s index range."""
+        lo, hi = self.range_of(partition)
+        return lo <= key < hi

@@ -1,0 +1,208 @@
+"""Mini Spark Streaming: discretized streams (DStreams) of micro-batches.
+
+The paper lists "Supporting Streaming data, complex analytics, and real
+time analysis" among Spark's advantages over MapReduce (Section II-B).
+This module implements the DStream model at mini scale: a streaming
+context chops an input feed into micro-batches, each batch becomes an
+RDD processed by the normal engine, and transformations compose lazily
+exactly like Spark Streaming's.
+
+Time is *virtual* — `advance()` delivers the next micro-batch — so
+tests and examples are deterministic and instant.  Supported:
+map/filter/flatMap per batch, window operations over the last k
+batches, stateful `update_state_by_key`, and foreachRDD sinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generic, Iterable, Iterator, TypeVar
+
+from .context import SparkContext
+from .rdd import RDD
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+V = TypeVar("V")
+S = TypeVar("S")
+
+
+class StreamingContext:
+    """Owns the batch clock and the DStream graph."""
+
+    def __init__(self, sc: SparkContext, num_partitions: int | None = None):
+        self.sc = sc
+        self.num_partitions = num_partitions or sc.default_parallelism
+        self._sources: list[QueueStream[Any]] = []
+        self.batch_index = -1
+
+    def queue_stream(self, batches: Iterable[list[T]] | None = None) -> "QueueStream[T]":
+        """A source fed from an explicit queue of batches (Spark's
+        queueStream, the standard testing source)."""
+        stream = QueueStream(self, list(batches or []))
+        self._sources.append(stream)
+        return stream
+
+    def advance(self) -> int:
+        """Deliver one micro-batch through the whole graph; returns the
+        new batch index."""
+        self.batch_index += 1
+        for source in self._sources:
+            source._tick(self.batch_index)
+        return self.batch_index
+
+    def run(self, num_batches: int) -> None:
+        """Execute the given tasks, yielding outcomes as they complete."""
+        for _ in range(num_batches):
+            self.advance()
+
+
+class DStream(Generic[T]):
+    """A discretized stream: per-batch RDD transformations + sinks."""
+
+    def __init__(self, ssc: StreamingContext):
+        self.ssc = ssc
+        self._children: list[DStream[Any]] = []
+        self._sinks: list[Callable[[int, RDD[T]], None]] = []
+
+    # -- graph wiring (internal) -------------------------------------------
+    def _emit(self, batch_index: int, rdd: RDD[T]) -> None:
+        for sink in self._sinks:
+            sink(batch_index, rdd)
+        for child in self._children:
+            child._receive(batch_index, rdd)
+
+    def _receive(self, batch_index: int, rdd: RDD[Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _attach(self, child: "DStream[Any]") -> "DStream[Any]":
+        self._children.append(child)
+        return child
+
+    # -- transformations -----------------------------------------------------
+    def transform(self, f: Callable[[RDD[T]], RDD[U]]) -> "DStream[U]":
+        """Arbitrary per-batch RDD-to-RDD transformation."""
+        return self._attach(_TransformedStream(self.ssc, f))
+
+    def map(self, f: Callable[[T], U]) -> "DStream[U]":
+        """Per-element transformation of each batch."""
+        return self.transform(lambda rdd: rdd.map(f))
+
+    def filter(self, f: Callable[[T], bool]) -> "DStream[T]":
+        """Keep matching elements of each batch."""
+        return self.transform(lambda rdd: rdd.filter(f))
+
+    def flat_map(self, f: Callable[[T], Iterable[U]]) -> "DStream[U]":
+        """One-to-many transformation of each batch."""
+        return self.transform(lambda rdd: rdd.flat_map(f))
+
+    def count_by_value(self: "DStream[T]") -> "DStream[tuple[T, int]]":
+        """Per-batch histogram of element occurrences."""
+        return self.transform(
+            lambda rdd: rdd.map(lambda x: (x, 1)).reduce_by_key(lambda a, b: a + b)
+        )
+
+    def reduce_by_key(
+        self: "DStream[tuple[K, V]]", f: Callable[[V, V], V]
+    ) -> "DStream[tuple[K, V]]":
+        """Per-batch reduce of values sharing a key."""
+        return self.transform(lambda rdd: rdd.reduce_by_key(f))
+
+    def window(self, length: int) -> "DStream[T]":
+        """Union of the last ``length`` batches, emitted every batch."""
+        if length < 1:
+            raise ValueError(f"window length must be >= 1, got {length}")
+        return self._attach(_WindowedStream(self.ssc, length))
+
+    def update_state_by_key(
+        self: "DStream[tuple[K, V]]",
+        update: Callable[[list[V], S | None], S | None],
+    ) -> "DStream[tuple[K, S]]":
+        """Stateful per-key fold across batches (Spark's updateStateByKey).
+
+        ``update(new_values, old_state)`` returns the new state, or None
+        to drop the key."""
+        return self._attach(_StatefulStream(self.ssc, update))
+
+    # -- sinks ------------------------------------------------------------------
+    def foreach_rdd(self, f: Callable[[int, RDD[T]], None]) -> "DStream[T]":
+        """Run ``f(batch_index, rdd)`` on every batch (the output op)."""
+        self._sinks.append(f)
+        return self
+
+    def collect_batches(self, into: list[list[T]]) -> "DStream[T]":
+        """Convenience sink appending each batch's collected data."""
+        self._sinks.append(lambda _i, rdd: into.append(rdd.collect()))
+        return self
+
+
+class QueueStream(DStream[T]):
+    """Source stream fed from a queue of batches."""
+
+    def __init__(self, ssc: StreamingContext, batches: list[list[T]]):
+        super().__init__(ssc)
+        self._queue: deque[list[T]] = deque(batches)
+
+    def push(self, batch: list[T]) -> None:
+        """Append a batch to be delivered by a future advance()."""
+        self._queue.append(batch)
+
+    def _tick(self, batch_index: int) -> None:
+        data = self._queue.popleft() if self._queue else []
+        rdd = self.ssc.sc.parallelize(data, self.ssc.num_partitions)
+        self._emit(batch_index, rdd)
+
+
+class _TransformedStream(DStream[U]):
+    def __init__(self, ssc: StreamingContext, f: Callable[[RDD[Any]], RDD[U]]):
+        super().__init__(ssc)
+        self._f = f
+
+    def _receive(self, batch_index: int, rdd: RDD[Any]) -> None:
+        self._emit(batch_index, self._f(rdd))
+
+
+class _WindowedStream(DStream[T]):
+    def __init__(self, ssc: StreamingContext, length: int):
+        super().__init__(ssc)
+        self._length = length
+        self._history: deque[RDD[T]] = deque(maxlen=length)
+
+    def _receive(self, batch_index: int, rdd: RDD[T]) -> None:
+        self._history.append(rdd)
+        window: RDD[T] = self._history[0]
+        for r in list(self._history)[1:]:
+            window = window.union(r)
+        self._emit(batch_index, window)
+
+
+class _StatefulStream(DStream[Any]):
+    def __init__(
+        self,
+        ssc: StreamingContext,
+        update: Callable[[list[Any], Any | None], Any | None],
+    ):
+        super().__init__(ssc)
+        self._update = update
+        self._state: dict[Any, Any] = {}
+
+    def _receive(self, batch_index: int, rdd: RDD[tuple[Any, Any]]) -> None:
+        grouped: dict[Any, list[Any]] = {}
+        for k, v in rdd.collect():
+            grouped.setdefault(k, []).append(v)
+        # Keys with no new values still get an update call (Spark does
+        # this so state can age out).
+        for k in list(self._state.keys()):
+            grouped.setdefault(k, [])
+        for k, values in grouped.items():
+            new_state = self._update(values, self._state.get(k))
+            if new_state is None:
+                self._state.pop(k, None)
+            else:
+                self._state[k] = new_state
+        out = self.ssc.sc.parallelize(
+            sorted(self._state.items(), key=lambda kv: repr(kv[0])),
+            self.ssc.num_partitions,
+        )
+        self._emit(batch_index, out)

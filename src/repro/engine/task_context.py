@@ -1,0 +1,63 @@
+"""Per-task execution context (thread-local), like Spark's TaskContext.
+
+Carries the task's identity, its metrics object, and the task-local
+accumulator buffer.  `Accumulator.add` resolves through this so that
+updates made inside executor code are buffered and shipped back with
+the task result instead of mutating driver state mid-flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from .accumulator import AccumulatorParam
+from .metrics import TaskMetrics
+
+_tls = threading.local()
+
+
+@dataclass
+class TaskContext:
+    """Identity, metrics, and accumulator buffer of the running task."""
+    stage_id: int
+    partition: int
+    attempt: int
+    metrics: TaskMetrics
+    acc_updates: dict[int, Any] = field(default_factory=dict)
+    _acc_params: dict[int, AccumulatorParam[Any]] = field(default_factory=dict)
+
+    def accumulate(self, aid: int, param: AccumulatorParam[Any], term: Any) -> None:
+        """Buffer an accumulator update for this task."""
+        if aid in self.acc_updates:
+            self.acc_updates[aid] = param.add(self.acc_updates[aid], term)
+        else:
+            self.acc_updates[aid] = param.add(param.zero(), term)
+            self._acc_params[aid] = param
+
+
+def get() -> TaskContext | None:
+    """The TaskContext of the currently-running task, or None on the driver."""
+    return getattr(_tls, "ctx", None)
+
+
+def set_context(ctx: TaskContext | None) -> None:
+    """Install (or clear) the current thread's TaskContext."""
+    _tls.ctx = ctx
+
+
+class activate:
+    """Context manager installing a TaskContext for the current thread."""
+
+    def __init__(self, ctx: TaskContext):
+        self._ctx = ctx
+        self._prev: TaskContext | None = None
+
+    def __enter__(self) -> TaskContext:
+        self._prev = get()
+        set_context(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc: object) -> None:
+        set_context(self._prev)

@@ -1,0 +1,15 @@
+"""Mini distributed filesystem with blocks, replication, and failure recovery."""
+
+from .datanode import DataNode
+from .filesystem import DEFAULT_BLOCK_SIZE, HdfsFile, MiniHDFS
+from .namenode import BlockInfo, FileInfo, NameNode
+
+__all__ = [
+    "MiniHDFS",
+    "HdfsFile",
+    "NameNode",
+    "DataNode",
+    "BlockInfo",
+    "FileInfo",
+    "DEFAULT_BLOCK_SIZE",
+]

@@ -1,0 +1,49 @@
+"""DataNode: stores block replicas as files on local disk."""
+
+from __future__ import annotations
+
+import os
+
+
+class DataNode:
+    """Stores block replicas as files in its own directory."""
+    def __init__(self, node_id: int, root: str):
+        self.node_id = node_id
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _block_path(self, block_id: int) -> str:
+        return os.path.join(self.root, f"blk_{block_id}")
+
+    def write_block(self, block_id: int, data: bytes) -> None:
+        """Persist one block replica."""
+        with open(self._block_path(block_id), "wb") as f:
+            f.write(data)
+
+    def read_block(self, block_id: int) -> bytes:
+        """Read one block replica (KeyError-like on missing)."""
+        path = self._block_path(block_id)
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"datanode {self.node_id} has no replica of block {block_id}"
+            )
+        with open(path, "rb") as f:
+            return f.read()
+
+    def has_block(self, block_id: int) -> bool:
+        """True iff a replica of the block is present."""
+        return os.path.exists(self._block_path(block_id))
+
+    def delete_block(self, block_id: int) -> None:
+        """Remove a replica if present."""
+        path = self._block_path(block_id)
+        if os.path.exists(path):
+            os.unlink(path)
+
+    def block_ids(self) -> list[int]:
+        """Ids of all replicas held."""
+        out = []
+        for name in os.listdir(self.root):
+            if name.startswith("blk_"):
+                out.append(int(name[4:]))
+        return sorted(out)

@@ -1,0 +1,175 @@
+"""MiniHDFS: a block-based distributed filesystem on local disk.
+
+Files are chopped into fixed-size blocks, each replicated across
+several datanode directories; the namenode tracks placement.  Reads
+survive datanode failures as long as one replica lives — the
+replication-based fault tolerance the paper attributes to
+HDFS/MapReduce (Section II-B), contrasted with Spark's lineage.
+
+`HdfsFile` exposes the ``num_splits()/read_split(i)`` source protocol,
+so an HDFS file plugs straight into ``SparkContext.from_source`` and
+into MapReduce input splits: one split per block, line-aligned the way
+Hadoop record readers are (a split consumes the line spanning its end;
+it skips the partial line at its start).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from .datanode import DataNode
+from .namenode import BlockInfo, FileInfo, NameNode
+
+DEFAULT_BLOCK_SIZE = 1 << 20  # 1 MiB — small, so files split realistically
+
+
+class MiniHDFS:
+    """Block-based filesystem: namenode + datanode dirs on local disk."""
+    def __init__(
+        self,
+        root: str,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        replication: int = 3,
+        num_datanodes: int = 4,
+        seed: int = 0,
+    ):
+        if block_size < 16:
+            raise ValueError(f"block_size too small: {block_size}")
+        self.root = root
+        self.block_size = block_size
+        self.namenode = NameNode(replication, num_datanodes, seed=seed)
+        self.datanodes = [
+            DataNode(i, os.path.join(root, f"dn{i}")) for i in range(num_datanodes)
+        ]
+
+    # -- writes ----------------------------------------------------------------
+    def put_bytes(self, path: str, data: bytes) -> FileInfo:
+        """Store ``data`` at ``path``, splitting into replicated blocks."""
+        info = self.namenode.create_file(path)
+        for off in range(0, max(len(data), 1), self.block_size):
+            chunk = data[off : off + self.block_size]
+            block = self.namenode.allocate_block(info, len(chunk))
+            for d in block.replicas:
+                self.datanodes[d].write_block(block.block_id, chunk)
+        return info
+
+    def put_text(self, path: str, text: str) -> FileInfo:
+        """Store a UTF-8 string at the path."""
+        return self.put_bytes(path, text.encode("utf-8"))
+
+    def put_local_file(self, local_path: str, hdfs_path: str) -> FileInfo:
+        """Copy a local file into HDFS."""
+        with open(local_path, "rb") as f:
+            return self.put_bytes(hdfs_path, f.read())
+
+    # -- reads -------------------------------------------------------------------
+    def read_block(self, block: BlockInfo) -> bytes:
+        """Read from the first live replica; fail only if all are dead."""
+        live = self.namenode.live_replicas(block)
+        last_error: Exception | None = None
+        for d in live:
+            try:
+                return self.datanodes[d].read_block(block.block_id)
+            except FileNotFoundError as exc:  # replica lost on disk
+                last_error = exc
+        raise IOError(
+            f"block {block.block_id} unreadable: no live replica"
+        ) from last_error
+
+    def get_bytes(self, path: str) -> bytes:
+        """Read a whole file's bytes via live replicas."""
+        info = self.namenode.get_file(path)
+        return b"".join(self.read_block(b) for b in info.blocks)
+
+    def get_text(self, path: str) -> str:
+        """Read a whole file as UTF-8 text."""
+        return self.get_bytes(path).decode("utf-8")
+
+    def open(self, path: str) -> "HdfsFile":
+        """Open a file for split-based reading."""
+        return HdfsFile(self, self.namenode.get_file(path))
+
+    # -- namespace ops --------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """True iff the path exists."""
+        return self.namenode.exists(path)
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        """Paths under the given prefix."""
+        return self.namenode.listdir(prefix)
+
+    def delete(self, path: str) -> None:
+        """Remove a file and its replicas."""
+        info = self.namenode.delete(path)
+        for block in info.blocks:
+            for d in block.replicas:
+                self.datanodes[d].delete_block(block.block_id)
+
+    # -- failure simulation -------------------------------------------------------------
+    def kill_datanode(self, datanode_id: int) -> None:
+        """Simulate a datanode crash: metadata marks it dead, disk wiped."""
+        self.namenode.mark_dead(datanode_id)
+        shutil.rmtree(self.datanodes[datanode_id].root, ignore_errors=True)
+        os.makedirs(self.datanodes[datanode_id].root, exist_ok=True)
+
+    def re_replicate(self) -> int:
+        """Restore replication of under-replicated blocks from live copies.
+        Returns the number of new replicas created."""
+        created = 0
+        for block in self.namenode.under_replicated_blocks():
+            data = self.read_block(block)
+            live = set(self.namenode.live_replicas(block))
+            for d in range(len(self.datanodes)):
+                if len(live) >= self.namenode.replication:
+                    break
+                if d in live or d in self.namenode._dead:
+                    continue
+                self.datanodes[d].write_block(block.block_id, data)
+                block.replicas.append(d)
+                live.add(d)
+                created += 1
+        return created
+
+
+class HdfsFile:
+    """Line-oriented, block-aligned splits of one HDFS file."""
+
+    def __init__(self, fs: MiniHDFS, info: FileInfo):
+        self._fs = fs
+        self._info = info
+        self.path = info.path
+
+    def num_splits(self) -> int:
+        """Number of input splits."""
+        return max(1, len(self._info.blocks))
+
+    def read_split(self, i: int) -> list[str]:
+        """Read one split's records."""
+        blocks = self._info.blocks
+        if not blocks:
+            return []
+        if not 0 <= i < len(blocks):
+            raise IndexError(f"split {i} out of range")
+        data = self._fs.read_block(blocks[i])
+        # A split owns the line that *starts* inside it.  If the previous
+        # block does not end with a newline, our first partial line belongs
+        # to split i-1: skip it.  If our last line is cut, pull the rest
+        # from following blocks.
+        if i > 0:
+            prev = self._fs.read_block(blocks[i - 1])
+            if not prev.endswith(b"\n"):
+                nl = data.find(b"\n")
+                data = b"" if nl < 0 else data[nl + 1 :]
+        j = i + 1
+        while data and not data.endswith(b"\n") and j < len(blocks):
+            nxt = self._fs.read_block(blocks[j])
+            nl = nxt.find(b"\n")
+            if nl < 0:
+                data += nxt
+                j += 1
+            else:
+                data += nxt[: nl + 1]
+                break
+        text = data.decode("utf-8")
+        return [line for line in text.split("\n") if line]

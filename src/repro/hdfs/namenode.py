@@ -1,0 +1,106 @@
+"""NameNode: HDFS metadata — files, blocks, and replica placement.
+
+Holds no data itself, only the mapping ``path → [blocks]`` and
+``block → [datanodes holding a replica]``, exactly the split of
+responsibilities in Hadoop (paper Figure 1/2 context).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlockInfo:
+    """One block's length and replica placement."""
+    block_id: int
+    length: int
+    replicas: list[int] = field(default_factory=list)  # datanode ids
+
+
+@dataclass
+class FileInfo:
+    """A file's ordered block list."""
+    path: str
+    blocks: list[BlockInfo] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return sum(b.length for b in self.blocks)
+
+
+class NameNode:
+    """Metadata authority: files, blocks, replicas, liveness."""
+    def __init__(self, replication: int, num_datanodes: int, seed: int = 0):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if num_datanodes < 1:
+            raise ValueError(f"need at least one datanode, got {num_datanodes}")
+        self.replication = min(replication, num_datanodes)
+        self.num_datanodes = num_datanodes
+        self._files: dict[str, FileInfo] = {}
+        self._next_block = itertools.count()
+        self._rng = random.Random(seed)
+        self._dead: set[int] = set()
+
+    # -- metadata ops ------------------------------------------------------
+    def create_file(self, path: str) -> FileInfo:
+        """Register a new (empty) file."""
+        if path in self._files:
+            raise FileExistsError(f"hdfs path already exists: {path}")
+        info = FileInfo(path)
+        self._files[path] = info
+        return info
+
+    def allocate_block(self, info: FileInfo, length: int) -> BlockInfo:
+        """Pick replica datanodes (random placement, like default HDFS)."""
+        alive = [d for d in range(self.num_datanodes) if d not in self._dead]
+        if len(alive) < 1:
+            raise RuntimeError("no live datanodes")
+        replicas = self._rng.sample(alive, min(self.replication, len(alive)))
+        block = BlockInfo(next(self._next_block), length, replicas)
+        info.blocks.append(block)
+        return block
+
+    def get_file(self, path: str) -> FileInfo:
+        """Look up file metadata."""
+        if path not in self._files:
+            raise FileNotFoundError(f"no such hdfs file: {path}")
+        return self._files[path]
+
+    def exists(self, path: str) -> bool:
+        """True iff the path is registered."""
+        return path in self._files
+
+    def delete(self, path: str) -> FileInfo:
+        """Unregister a file; returns its metadata."""
+        return self._files.pop(self.get_file(path).path)
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        """Paths starting with the given prefix."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    # -- failure handling ----------------------------------------------------
+    def mark_dead(self, datanode_id: int) -> None:
+        """Mark a datanode as failed."""
+        self._dead.add(datanode_id)
+
+    def mark_alive(self, datanode_id: int) -> None:
+        """Mark a datanode as recovered."""
+        self._dead.discard(datanode_id)
+
+    def live_replicas(self, block: BlockInfo) -> list[int]:
+        """Replica datanodes currently alive."""
+        return [d for d in block.replicas if d not in self._dead]
+
+    def under_replicated_blocks(self) -> list[BlockInfo]:
+        """Blocks with fewer live replicas than the target."""
+        out = []
+        for info in self._files.values():
+            for b in info.blocks:
+                if 0 < len(self.live_replicas(b)) < self.replication:
+                    out.append(b)
+        return out

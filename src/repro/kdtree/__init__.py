@@ -1,0 +1,12 @@
+"""From-scratch kd-tree (Bentley 1975) with eps-range and kNN queries.
+
+The paper builds its own Java kd-tree to cut DBSCAN's neighbour search
+from O(n²) to O(n log n); this package is the Python equivalent, plus
+the brute-force reference oracle and the pruned-query variant used for
+the paper's 1m-point runs.
+"""
+
+from .brute import BruteForceIndex
+from .kdtree import KDTree
+
+__all__ = ["KDTree", "BruteForceIndex"]

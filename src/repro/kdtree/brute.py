@@ -1,0 +1,42 @@
+"""Brute-force neighbor search: the O(n²) reference implementation.
+
+The paper cites DBSCAN's complexity dropping from O(n²) with naive
+linear search to O(n log n) with a spatial index (Section II-A).  This
+module is that naive linear search — used as the correctness oracle for
+the kd-tree and as the baseline in Ablation E.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BruteForceIndex:
+    """Exact eps-range queries by scanning every point."""
+
+    def __init__(self, points: np.ndarray):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D (n, d), got shape {points.shape}")
+        self.points = points
+        self.n, self.d = points.shape
+
+    def query_radius(self, q: np.ndarray, eps: float) -> np.ndarray:
+        """Indices of all points within distance ``eps`` of ``q`` (inclusive)."""
+        q = np.asarray(q, dtype=np.float64)
+        d2 = np.einsum("ij,ij->i", self.points - q, self.points - q)
+        return np.flatnonzero(d2 <= eps * eps)
+
+    def query_radius_count(self, q: np.ndarray, eps: float) -> int:
+        """Size of the eps-neighbourhood."""
+        return int(self.query_radius(q, eps).size)
+
+    def query_knn(self, q: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the k nearest points to ``q`` (including an exact match)."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        q = np.asarray(q, dtype=np.float64)
+        d2 = np.einsum("ij,ij->i", self.points - q, self.points - q)
+        k = min(k, self.n)
+        idx = np.argpartition(d2, k - 1)[:k]
+        return idx[np.argsort(d2[idx])]

@@ -1,0 +1,126 @@
+"""JobTracker / TaskTracker model with heartbeat-based failure detection.
+
+The paper's Section II-B describes the mechanism: the JobTracker
+declares a TaskTracker dead when no heartbeat arrives within a timeout,
+then reschedules its pending and in-progress tasks elsewhere (the
+intermediate data of the failed tracker being lost).  This module
+simulates that control plane on a virtual clock so tests can exercise
+failure → reschedule → completion without real multi-second waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TaskState(Enum):
+    """Lifecycle of a tracked task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class TrackedTask:
+    """One task's scheduling state on the JobTracker."""
+
+    task_id: int
+    state: TaskState = TaskState.PENDING
+    tracker: int | None = None
+    attempts: int = 0
+
+
+@dataclass
+class TaskTracker:
+    """A worker node, identified by its heartbeats."""
+
+    tracker_id: int
+    last_heartbeat: float = 0.0
+    alive: bool = True
+    running: set[int] = field(default_factory=set)
+
+
+class JobTracker:
+    """Assigns tasks to trackers; reschedules when heartbeats stop."""
+
+    def __init__(self, num_trackers: int, heartbeat_timeout: float = 3.0):
+        if num_trackers < 1:
+            raise ValueError("need at least one tracker")
+        self.trackers = [TaskTracker(i) for i in range(num_trackers)]
+        self.heartbeat_timeout = heartbeat_timeout
+        self.tasks: dict[int, TrackedTask] = {}
+        self.clock = 0.0
+        self.reschedules = 0
+
+    def submit(self, num_tasks: int) -> None:
+        """Register a job's tasks as pending."""
+        for i in range(num_tasks):
+            self.tasks[i] = TrackedTask(i)
+
+    # -- control-plane events (driven by tests / the MR driver) -------------
+    def heartbeat(self, tracker_id: int, now: float | None = None) -> None:
+        """Record a liveness ping from a tracker."""
+        t = self.trackers[tracker_id]
+        if not t.alive:
+            raise RuntimeError(f"tracker {tracker_id} is dead")
+        t.last_heartbeat = now if now is not None else self.clock
+
+    def advance_clock(self, dt: float) -> None:
+        """Move virtual time forward and expire silent trackers."""
+        self.clock += dt
+        for t in self.trackers:
+            if t.alive and self.clock - t.last_heartbeat > self.heartbeat_timeout:
+                self._expire(t)
+
+    def kill_tracker(self, tracker_id: int) -> None:
+        """Hard-kill: the tracker stops heartbeating immediately."""
+        self.trackers[tracker_id].alive = False
+        self._expire(self.trackers[tracker_id])
+
+    def _expire(self, tracker: TaskTracker) -> None:
+        tracker.alive = False
+        # Intermediate data of a failed tracker is gone: its running
+        # tasks go back to pending (the paper's description of pre-0.21
+        # MapReduce recovery).
+        for task_id in list(tracker.running):
+            task = self.tasks[task_id]
+            task.state = TaskState.PENDING
+            task.tracker = None
+            self.reschedules += 1
+        tracker.running.clear()
+
+    # -- scheduling ------------------------------------------------------------
+    def assign_pending(self) -> list[tuple[int, int]]:
+        """Assign every pending task to a live tracker (round-robin).
+        Returns (task_id, tracker_id) assignments made."""
+        live = [t for t in self.trackers if t.alive]
+        if not live:
+            raise RuntimeError("no live task trackers")
+        out: list[tuple[int, int]] = []
+        i = 0
+        for task in self.tasks.values():
+            if task.state is TaskState.PENDING:
+                tracker = live[i % len(live)]
+                i += 1
+                task.state = TaskState.RUNNING
+                task.tracker = tracker.tracker_id
+                task.attempts += 1
+                tracker.running.add(task.task_id)
+                out.append((task.task_id, tracker.tracker_id))
+        return out
+
+    def complete(self, task_id: int) -> None:
+        """Mark a running task as successfully finished."""
+        task = self.tasks[task_id]
+        if task.state is not TaskState.RUNNING:
+            raise RuntimeError(f"task {task_id} not running")
+        task.state = TaskState.DONE
+        if task.tracker is not None:
+            self.trackers[task.tracker].running.discard(task_id)
+
+    @property
+    def all_done(self) -> bool:
+        """True when every submitted task has completed."""
+        return all(t.state is TaskState.DONE for t in self.tasks.values())

@@ -1,0 +1,86 @@
+"""Workload-balance diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_balance, speedup_ceiling
+
+
+class TestAnalyzeBalance:
+    def test_perfectly_balanced(self):
+        r = analyze_balance([2.0, 2.0, 2.0, 2.0])
+        assert r.imbalance == 1.0
+        assert r.efficiency == 1.0
+        assert r.straggler_slack == 0.0
+        assert r.cv == 0.0
+
+    def test_skewed(self):
+        r = analyze_balance([1.0, 1.0, 1.0, 5.0])
+        assert r.imbalance == pytest.approx(5.0 / 2.0)
+        assert r.efficiency == pytest.approx(2.0 / 5.0)
+        assert r.straggler_slack == pytest.approx(3.0)
+
+    def test_total_and_extremes(self):
+        r = analyze_balance([3.0, 1.0, 2.0])
+        assert r.total == 6.0
+        assert r.max == 3.0 and r.min == 1.0
+        assert r.num_partitions == 3
+
+    def test_zero_work(self):
+        r = analyze_balance([0.0, 0.0])
+        assert r.imbalance == 1.0
+        assert r.efficiency == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_balance([])
+        with pytest.raises(ValueError):
+            analyze_balance([1.0, -1.0])
+
+
+class TestSpeedupCeiling:
+    def test_balanced_reaches_p(self):
+        assert speedup_ceiling([1.0] * 8) == pytest.approx(8.0)
+
+    def test_single_straggler_caps(self):
+        # 7 fast + 1 task holding half the work: ceiling well below 8.
+        work = [1.0] * 7 + [7.0]
+        assert speedup_ceiling(work) == pytest.approx(14.0 / 7.0)
+
+
+class TestOnRealDBSCANRun:
+    def test_index_partitioning_is_roughly_balanced_on_shuffled_data(self):
+        """Shuffled input gives index partitions statistically equal work —
+        the reason the paper gets away without spatial partitioning."""
+        from repro.data import generate_clustered
+        from repro.dbscan import SparkDBSCAN
+
+        g = generate_clustered(n=2000, num_clusters=5, cluster_std=8.0, seed=9)
+        res = SparkDBSCAN(25.0, 5, num_partitions=4).fit(g.points)
+        r = analyze_balance(res.timings.executor_task_durations)
+        assert r.imbalance < 2.0
+        assert r.efficiency > 0.5
+
+    def test_sorted_input_can_skew_work(self):
+        """If the input happens to be cluster-sorted, index ranges split
+        into whole clusters vs pure noise — measurable skew in neighbour
+        volume (the future-work motivation)."""
+        from repro.data import generate_clustered
+        from repro.engine.partitioner import IndexRangePartitioner
+        from repro.kdtree import KDTree
+
+        g = generate_clustered(n=2000, num_clusters=4, cluster_std=8.0,
+                               noise_fraction=0.4, seed=9, shuffle=False)
+        # Unshuffled: clusters first, then all noise.  Neighbour volume per
+        # index partition is then extremely skewed.
+        tree = KDTree(g.points)
+        part = IndexRangePartitioner(g.n, 4)
+        work = []
+        for pid in range(4):
+            lo, hi = part.range_of(pid)
+            work.append(sum(
+                tree.query_radius(g.points[i], 25.0).size
+                for i in range(lo, hi, 10)
+            ))
+        skewed = analyze_balance([float(w) for w in work])
+        assert skewed.imbalance > 1.5

@@ -1,0 +1,101 @@
+"""Section IV-C cost model sanity and calibration."""
+
+import pytest
+
+from repro.analysis import (
+    CalibratedCostModel,
+    CostModel,
+    WorkloadParams,
+    search_time_lower,
+    search_time_upper,
+)
+
+
+@pytest.fixture
+def params():
+    return WorkloadParams(n=100_000, d=10, m=500, K=300, delta=10.0,
+                          t_straggling=5.0)
+
+
+class TestSearchTimeBounds:
+    def test_lower_is_log(self, params):
+        assert search_time_lower(params) == pytest.approx(16.6096, rel=1e-3)
+
+    def test_upper_dominates_lower(self, params):
+        assert search_time_upper(params) > search_time_lower(params)
+
+    def test_v_interpolates(self, params):
+        lo = CostModel(params, v_weight=0.0).V
+        mid = CostModel(params, v_weight=0.5).V
+        hi = CostModel(params, v_weight=1.0).V
+        assert lo < mid < hi
+        assert lo == pytest.approx(search_time_lower(params))
+        assert hi == pytest.approx(search_time_upper(params))
+
+
+class TestCostModel:
+    def test_speedup_at_one_core_is_near_one(self, params):
+        m = CostModel(params)
+        assert m.speedup(1) <= 1.0 + 1e-9
+
+    def test_speedup_monotone_and_efficiency_decays(self, params):
+        m = CostModel(params)
+        cores = (1, 2, 4, 8, 16, 32, 64)
+        s = [m.speedup(p) for p in cores]
+        assert s == sorted(s)  # monotone in p
+        eff = [si / p for si, p in zip(s, cores)]
+        assert all(a >= b - 1e-12 for a, b in zip(eff, eff[1:]))  # sub-linear
+
+    def test_speedup_bounded_by_serial_fraction(self, params):
+        """Amdahl-style cap: the non-parallel work bounds the speedup."""
+        m = CostModel(params)
+        serial = m.build_time() + m.merge_time() + m.params.m * m.V
+        cap = m.sequential_time() / serial
+        assert m.speedup(10**6) <= cap + 1e-9
+
+    def test_executor_only_speedup_higher(self, params):
+        """Figure 8's two columns: executor-only speedup dominates the
+        total-time speedup because driver work does not parallelise."""
+        m = CostModel(params)
+        for p in (4, 8, 16, 32):
+            assert m.executor_only_speedup(p) >= m.speedup(p)
+
+    def test_more_partial_clusters_hurt_speedup(self):
+        base = WorkloadParams(n=100_000, m=100, K=300)
+        heavy = WorkloadParams(n=100_000, m=20_000, K=300)
+        assert CostModel(heavy).speedup(32) < CostModel(base).speedup(32)
+
+    def test_straggler_wait_hurts_parallel_only(self):
+        quiet = WorkloadParams(n=10_000, m=10)
+        noisy = WorkloadParams(n=10_000, m=10, t_straggling=1e6)
+        assert CostModel(noisy).speedup(8) < CostModel(quiet).speedup(8)
+        assert CostModel(noisy).sequential_time() == CostModel(quiet).sequential_time()
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            CostModel(params, v_weight=1.5)
+        with pytest.raises(ValueError):
+            CostModel(params).parallel_time(0)
+        with pytest.raises(ValueError):
+            WorkloadParams(n=0)
+
+
+class TestCalibratedModel:
+    def test_fit_reproduces_measured_point(self, params):
+        m = CalibratedCostModel.fit(params, measured_executor_total=20.0,
+                                    measured_merge=2.0)
+        # At p=1 (ignoring the m*query term) the model should be close to
+        # delta + executor + merge.
+        assert m.sequential_time() == pytest.approx(
+            params.delta + 20.0 + 2.0, rel=1e-6
+        )
+
+    def test_predicted_speedup_shape(self, params):
+        m = CalibratedCostModel.fit(params, 20.0, 2.0)
+        s = [m.speedup(p) for p in (1, 2, 4, 8, 16)]
+        assert s == sorted(s)
+        assert s[0] <= 1.0 + 1e-9
+
+    def test_rejects_negative_measurements(self, params):
+        with pytest.raises(ValueError):
+            CalibratedCostModel.fit(params, -1.0, 1.0)

@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic datasets and engine contexts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_clustered
+from repro.engine import SparkContext
+from repro.kdtree import KDTree
+
+
+@pytest.fixture(scope="session")
+def blobs_small():
+    """~600 points, 3 well-separated clusters + noise (d=10)."""
+    return generate_clustered(n=600, num_clusters=3, cluster_std=8.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def blobs_medium():
+    """~2500 points, 6 clusters + noise (d=10)."""
+    return generate_clustered(n=2500, num_clusters=6, cluster_std=8.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def blobs_small_tree(blobs_small):
+    return KDTree(blobs_small.points)
+
+
+@pytest.fixture(scope="session")
+def blobs_medium_tree(blobs_medium):
+    return KDTree(blobs_medium.points)
+
+
+@pytest.fixture
+def sc():
+    """A 4-partition local context, cleaned up after each test."""
+    context = SparkContext("local[4]")
+    yield context
+    context.stop()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

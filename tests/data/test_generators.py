@@ -1,0 +1,164 @@
+"""Dataset generators: determinism, structure, density regime."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    EPS,
+    MINPTS,
+    PAPER_SIZES,
+    dataset_spec,
+    effective_size,
+    generate_clustered,
+    generate_scattered,
+    load_points,
+    make_dataset,
+    parse_point_line,
+    save_points,
+)
+from repro.kdtree import KDTree
+
+
+class TestClusteredGenerator:
+    def test_shapes(self):
+        g = generate_clustered(n=500, d=6, num_clusters=4, seed=0)
+        assert g.points.shape == (500, 6)
+        assert g.true_labels.shape == (500,)
+        assert len(g.clusters) == 4
+
+    def test_deterministic(self):
+        a = generate_clustered(n=300, seed=5)
+        b = generate_clustered(n=300, seed=5)
+        np.testing.assert_array_equal(a.points, b.points)
+        np.testing.assert_array_equal(a.true_labels, b.true_labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_clustered(n=300, seed=1)
+        b = generate_clustered(n=300, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_noise_fraction(self):
+        g = generate_clustered(n=1000, noise_fraction=0.2, seed=0)
+        assert np.count_nonzero(g.true_labels == -1) == 200
+
+    def test_cluster_sizes_balanced(self):
+        g = generate_clustered(n=1000, num_clusters=7, noise_fraction=0.0, seed=0)
+        _, counts = np.unique(g.true_labels, return_counts=True)
+        assert counts.max() - counts.min() <= 1
+
+    def test_centers_separated(self):
+        g = generate_clustered(n=200, num_clusters=5, cluster_std=8.0, seed=3)
+        centers = np.array([c.center for c in g.clusters])
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert np.linalg.norm(centers[i] - centers[j]) >= 96.0
+
+    def test_shuffle_mixes_partitions(self):
+        """Contiguous index ranges must contain several true clusters —
+        the regime the SEED mechanism exists for."""
+        g = generate_clustered(n=1000, num_clusters=5, noise_fraction=0.0, seed=0)
+        first_quarter = g.true_labels[:250]
+        assert np.unique(first_quarter).size >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_clustered(n=0)
+        with pytest.raises(ValueError):
+            generate_clustered(n=100, noise_fraction=1.0)
+        with pytest.raises(ValueError):
+            generate_clustered(n=5, num_clusters=10)
+
+
+class TestScatteredGenerator:
+    def test_cluster_count_scales_with_n(self):
+        small = generate_scattered(n=2000, points_per_cluster=200, seed=0)
+        large = generate_scattered(n=8000, points_per_cluster=200, seed=0)
+        assert len(large.clusters) > len(small.clusters)
+
+    def test_density_regime_at_paper_params(self):
+        """Cluster members must be core points at (eps=25, minpts=5),
+        noise points must not."""
+        g = generate_scattered(n=3000, seed=0)
+        tree = KDTree(g.points)
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, g.n, 200)
+        counts = np.array([tree.query_radius(g.points[i], EPS).size for i in idx])
+        labels = g.true_labels[idx]
+        member_core_rate = (counts[labels >= 0] >= MINPTS).mean()
+        noise_core_rate = (counts[labels < 0] >= MINPTS).mean()
+        assert member_core_rate > 0.95
+        assert noise_core_rate < 0.05
+
+
+class TestDatasetRegistry:
+    def test_paper_sizes_table1(self):
+        assert PAPER_SIZES == {
+            "c10k": 10_000,
+            "c100k": 102_400,
+            "r10k": 10_000,
+            "r100k": 102_400,
+            "r1m": 1_024_000,
+        }
+
+    def test_spec_has_paper_params(self):
+        spec = dataset_spec("c10k")
+        assert spec.eps == 25.0
+        assert spec.minpts == 5
+        assert spec.d == 10
+
+    def test_explicit_scale(self):
+        assert effective_size("r1m", scale=0.01) == 10_240
+        assert effective_size("r10k", scale=1.0) == 10_000
+
+    def test_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert effective_size("c100k") == 5_120
+
+    def test_default_caps_small_sets_full_size(self):
+        assert effective_size("c10k") == 10_000
+        assert effective_size("r10k") == 10_000
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("z99")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            effective_size("c10k", scale=0.0)
+
+    def test_make_dataset_deterministic(self):
+        a = make_dataset("r10k")
+        b = make_dataset("r10k")
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_datasets_distinct(self):
+        a = make_dataset("c10k")
+        b = make_dataset("r10k")
+        assert not np.array_equal(a.points, b.points)
+
+
+class TestIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        pts = np.random.default_rng(0).uniform(-5, 5, (40, 10))
+        path = str(tmp_path / "pts.txt")
+        save_points(path, pts)
+        back = load_points(path)
+        np.testing.assert_allclose(back, pts, rtol=1e-11)
+
+    def test_parse_point_line(self):
+        np.testing.assert_allclose(
+            parse_point_line("1.5 -2 3e2"), np.array([1.5, -2.0, 300.0])
+        )
+
+    def test_save_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_points(str(tmp_path / "x.txt"), np.zeros(5))
+
+    def test_roundtrip_through_lines(self, tmp_path):
+        """save → parse each line == original matrix (the HDFS read path)."""
+        pts = np.random.default_rng(1).normal(0, 100, (25, 10))
+        path = str(tmp_path / "pts.txt")
+        save_points(path, pts)
+        with open(path) as f:
+            rows = [parse_point_line(line) for line in f if line.strip()]
+        np.testing.assert_allclose(np.vstack(rows), pts, rtol=1e-11)

@@ -1,0 +1,141 @@
+"""Incremental DBSCAN: insertions must agree with batch DBSCAN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbscan import NOISE, clusterings_equivalent, dbscan_sequential
+from repro.dbscan.incremental import GridIndex, IncrementalDBSCAN
+from repro.kdtree import KDTree
+
+
+class TestGridIndex:
+    def test_neighbors_match_brute_force(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 20, (200, 3))
+        grid = GridIndex(3, eps=2.0)
+        for p in pts:
+            grid.add(p)
+        for qi in range(0, 200, 17):
+            q = pts[qi]
+            got = sorted(grid.neighbors(q))
+            d = np.linalg.norm(pts - q, axis=1)
+            want = sorted(np.flatnonzero(d <= 2.0).tolist())
+            assert got == want
+
+    def test_empty_index(self):
+        grid = GridIndex(2, eps=1.0)
+        assert grid.neighbors(np.zeros(2)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(2, eps=0.0)
+
+
+def _batch_equiv(points: np.ndarray, eps: float, minpts: int) -> tuple[bool, str]:
+    inc = IncrementalDBSCAN(eps, minpts, d=points.shape[1])
+    inc.insert_all(points)
+    batch = dbscan_sequential(points, eps, minpts)
+    tree = KDTree(points, leaf_size=8)
+    return clusterings_equivalent(
+        batch.labels, inc.labels, points, eps, minpts, tree=tree
+    )
+
+
+class TestAgainstBatch:
+    def test_two_blobs(self):
+        rng = np.random.default_rng(1)
+        pts = np.vstack([
+            rng.normal((0, 0), 0.5, (60, 2)),
+            rng.normal((10, 10), 0.5, (60, 2)),
+            rng.uniform(-5, 15, (15, 2)),
+        ])
+        ok, why = _batch_equiv(pts, 1.0, 4)
+        assert ok, why
+
+    def test_chain_built_out_of_order(self):
+        """Insert a connected chain in random order: clusters must merge
+        incrementally into one."""
+        rng = np.random.default_rng(2)
+        chain = np.c_[np.arange(50) * 0.8, np.zeros(50)]
+        order = rng.permutation(50)
+        inc = IncrementalDBSCAN(1.0, 2, d=2)
+        inc.insert_all(chain[order])
+        assert inc.num_clusters == 1
+
+    def test_insertion_merges_two_clusters(self):
+        """The signature incremental event: a bridge point merging two
+        previously separate clusters."""
+        left = np.c_[np.linspace(0, 2, 8), np.zeros(8)]
+        right = np.c_[np.linspace(3.5, 5.5, 8), np.zeros(8)]
+        inc = IncrementalDBSCAN(0.8, 3, d=2)
+        inc.insert_all(np.vstack([left, right]))
+        assert inc.num_clusters == 2
+        inc.insert(np.array([2.75, 0.0]))  # the bridge
+        assert inc.num_clusters == 1
+
+    def test_noise_promoted_to_cluster(self):
+        inc = IncrementalDBSCAN(1.0, 3, d=2)
+        inc.insert(np.array([0.0, 0.0]))
+        inc.insert(np.array([0.5, 0.0]))
+        assert inc.num_clusters == 0
+        assert (inc.labels == NOISE).all()
+        inc.insert(np.array([0.25, 0.3]))  # third point: all three now core
+        assert inc.num_clusters == 1
+        assert (inc.labels >= 0).all()
+
+    def test_isolated_points_stay_noise(self):
+        inc = IncrementalDBSCAN(1.0, 3, d=2)
+        for i in range(10):
+            inc.insert(np.array([i * 100.0, 0.0]))
+        assert inc.num_clusters == 0
+        assert (inc.labels == NOISE).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalDBSCAN(1.0, 0, d=2)
+
+
+@st.composite
+def insertion_workloads(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_clumps = draw(st.integers(1, 3))
+    per = draw(st.integers(3, 20))
+    noise = draw(st.integers(0, 8))
+    rng = np.random.default_rng(seed)
+    blocks = [
+        rng.normal(rng.uniform(-30, 30, 2), draw(st.floats(0.2, 1.5)), (per, 2))
+        for _ in range(n_clumps)
+    ]
+    if noise:
+        blocks.append(rng.uniform(-40, 40, (noise, 2)))
+    pts = np.vstack(blocks)
+    return pts[rng.permutation(len(pts))]
+
+
+@settings(max_examples=40, deadline=None)
+@given(pts=insertion_workloads(), eps=st.floats(0.5, 4.0), minpts=st.integers(2, 5))
+def test_incremental_equals_batch_property(pts, eps, minpts):
+    """Any insertion order of any workload ends equivalent to batch DBSCAN."""
+    ok, why = _batch_equiv(pts, eps, minpts)
+    assert ok, why
+
+
+@settings(max_examples=20, deadline=None)
+@given(pts=insertion_workloads(), eps=st.floats(0.5, 4.0), minpts=st.integers(2, 5),
+       seed=st.integers(0, 100))
+def test_insertion_order_invariance(pts, eps, minpts, seed):
+    """Core structure must not depend on insertion order."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(pts))
+    a = IncrementalDBSCAN(eps, minpts, d=2)
+    a.insert_all(pts)
+    b = IncrementalDBSCAN(eps, minpts, d=2)
+    b.insert_all(pts[order])
+    # Compare via batch equivalence of the full point set.
+    labels_b = np.empty(len(pts), dtype=np.int64)
+    labels_b[order] = b.labels
+    tree = KDTree(pts, leaf_size=8)
+    ok, why = clusterings_equivalent(a.labels, labels_b, pts, eps, minpts, tree=tree)
+    assert ok, why

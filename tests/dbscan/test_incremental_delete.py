@@ -1,0 +1,126 @@
+"""Incremental DBSCAN deletions: demotions, splits, batch equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbscan import NOISE, clusterings_equivalent, dbscan_sequential
+from repro.dbscan.incremental import IncrementalDBSCAN
+from repro.kdtree import KDTree
+
+
+def _check_against_batch(model: IncrementalDBSCAN, points: np.ndarray,
+                         eps: float, minpts: int) -> tuple[bool, str]:
+    """Compare the incremental state with batch DBSCAN on the active set."""
+    mask = model.active_mask
+    active_points = points[mask]
+    if active_points.shape[0] == 0:
+        return True, "empty"
+    batch = dbscan_sequential(active_points, eps, minpts)
+    inc_labels = model.labels[mask]
+    tree = KDTree(active_points, leaf_size=8)
+    return clusterings_equivalent(
+        batch.labels, inc_labels, active_points, eps, minpts, tree=tree
+    )
+
+
+class TestDeletion:
+    def test_deleting_bridge_splits_cluster(self):
+        """The signature deletion event: removing a bridge point splits
+        one cluster back into two."""
+        left = np.c_[np.linspace(0, 2, 8), np.zeros(8)]
+        right = np.c_[np.linspace(3.5, 5.5, 8), np.zeros(8)]
+        bridge = np.array([[2.75, 0.0]])
+        pts = np.vstack([left, bridge, right])
+        model = IncrementalDBSCAN(0.8, 3, d=2)
+        model.insert_all(pts)
+        assert model.num_clusters == 1
+        model.delete(8)  # the bridge
+        assert model.num_clusters == 2
+        ok, why = _check_against_batch(model, pts, 0.8, 3)
+        assert ok, why
+
+    def test_deleting_core_demotes_borders_to_noise(self):
+        # A tight star: center + 3 satellites; only the center is core.
+        pts = np.array([[0.0, 0.0], [0.9, 0.0], [-0.9, 0.0], [0.0, 0.9]])
+        model = IncrementalDBSCAN(1.0, 4, d=2)
+        model.insert_all(pts)
+        assert model.num_clusters == 1
+        model.delete(0)  # the only core point
+        assert model.num_clusters == 0
+        assert (model.labels[model.active_mask] == NOISE).all()
+
+    def test_deleting_noise_changes_nothing(self):
+        rng = np.random.default_rng(0)
+        blob = rng.normal(0, 0.4, (30, 2))
+        outlier = np.array([[50.0, 50.0]])
+        pts = np.vstack([blob, outlier])
+        model = IncrementalDBSCAN(1.0, 4, d=2)
+        model.insert_all(pts)
+        before = model.labels[:30].copy()
+        model.delete(30)
+        np.testing.assert_array_equal(model.labels[:30], before)
+
+    def test_delete_then_reinsert_restores_cluster(self):
+        left = np.c_[np.linspace(0, 2, 8), np.zeros(8)]
+        right = np.c_[np.linspace(3.5, 5.5, 8), np.zeros(8)]
+        bridge = np.array([2.75, 0.0])
+        model = IncrementalDBSCAN(0.8, 3, d=2)
+        model.insert_all(np.vstack([left, right]))
+        bi = model.insert(bridge)
+        assert model.num_clusters == 1
+        model.delete(bi)
+        assert model.num_clusters == 2
+        model.insert(bridge)
+        assert model.num_clusters == 1
+
+    def test_double_delete_rejected(self):
+        model = IncrementalDBSCAN(1.0, 2, d=2)
+        model.insert(np.zeros(2))
+        model.delete(0)
+        with pytest.raises(KeyError):
+            model.delete(0)
+
+    def test_delete_everything(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(0, 0.5, (20, 2))
+        model = IncrementalDBSCAN(1.0, 3, d=2)
+        model.insert_all(pts)
+        for i in range(20):
+            model.delete(i)
+        assert model.num_clusters == 0
+        assert not model.active_mask.any()
+
+
+@st.composite
+def churn_workloads(draw):
+    """Insert a workload, then delete a random subset."""
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n_clumps = draw(st.integers(1, 3))
+    per = draw(st.integers(4, 15))
+    blocks = [
+        rng.normal(rng.uniform(-25, 25, 2), draw(st.floats(0.3, 1.2)), (per, 2))
+        for _ in range(n_clumps)
+    ]
+    blocks.append(rng.uniform(-30, 30, (draw(st.integers(0, 6)), 2)))
+    pts = np.vstack(blocks)
+    pts = pts[rng.permutation(len(pts))]
+    n_del = draw(st.integers(0, min(10, len(pts) - 1)))
+    deletions = rng.choice(len(pts), size=n_del, replace=False).tolist()
+    return pts, deletions
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=churn_workloads(), eps=st.floats(0.6, 3.0), minpts=st.integers(2, 5))
+def test_insert_delete_churn_equals_batch(workload, eps, minpts):
+    """After arbitrary insert-then-delete churn, the incremental state is
+    equivalent to batch DBSCAN over the surviving points."""
+    pts, deletions = workload
+    model = IncrementalDBSCAN(eps, minpts, d=2)
+    model.insert_all(pts)
+    for idx in deletions:
+        model.delete(int(idx))
+    ok, why = _check_against_batch(model, pts, eps, minpts)
+    assert ok, why

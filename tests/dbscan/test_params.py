@@ -1,0 +1,62 @@
+"""k-dist eps suggestion heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.dbscan import dbscan_sequential, k_distances, suggest_eps
+
+
+class TestKDistances:
+    def test_sorted_descending(self, blobs_small, blobs_small_tree):
+        curve = k_distances(blobs_small.points, k=4, tree=blobs_small_tree)
+        assert (np.diff(curve) <= 1e-12).all()
+
+    def test_sample_limits_size(self, blobs_small, blobs_small_tree):
+        curve = k_distances(blobs_small.points, k=4, sample=100,
+                            tree=blobs_small_tree)
+        assert curve.size == 100
+
+    def test_full_curve_when_sample_none(self, blobs_small, blobs_small_tree):
+        curve = k_distances(blobs_small.points, k=4, sample=None,
+                            tree=blobs_small_tree)
+        assert curve.size == blobs_small.n
+
+    def test_kdist_value_is_actual_kth_distance(self):
+        # 4 collinear points spaced 1 apart: every point's 1-NN distance is 1.
+        pts = np.array([[0.0], [1.0], [2.0], [3.0]])
+        curve = k_distances(pts, k=1, sample=None)
+        np.testing.assert_allclose(curve, [1.0, 1.0, 1.0, 1.0])
+
+    def test_validation(self, blobs_small):
+        with pytest.raises(ValueError):
+            k_distances(blobs_small.points, k=0)
+        with pytest.raises(ValueError):
+            k_distances(np.zeros((3, 2)), k=5)
+        with pytest.raises(ValueError):
+            k_distances(np.zeros(7), k=1)
+
+
+class TestSuggestEps:
+    def test_suggestion_separates_cluster_from_noise_scale(self, blobs_small,
+                                                           blobs_small_tree):
+        """On the Table I-style data, the knee should land between the
+        intra-cluster neighbour scale and the noise neighbour scale —
+        i.e. a value at which DBSCAN actually recovers the 3 clusters."""
+        eps = suggest_eps(blobs_small.points, minpts=5, tree=blobs_small_tree)
+        assert 5.0 < eps < 120.0
+        res = dbscan_sequential(blobs_small.points, eps, 5, tree=blobs_small_tree)
+        assert res.num_clusters == 3
+
+    def test_deterministic(self, blobs_small, blobs_small_tree):
+        a = suggest_eps(blobs_small.points, minpts=5, tree=blobs_small_tree)
+        b = suggest_eps(blobs_small.points, minpts=5, tree=blobs_small_tree)
+        assert a == b
+
+    def test_uniform_data_returns_positive_eps(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, (300, 3))
+        assert suggest_eps(pts, minpts=4) > 0
+
+    def test_minpts_validation(self, blobs_small):
+        with pytest.raises(ValueError):
+            suggest_eps(blobs_small.points, minpts=1)

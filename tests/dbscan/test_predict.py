@@ -1,0 +1,71 @@
+"""Out-of-sample prediction."""
+
+import numpy as np
+import pytest
+
+from repro.dbscan import NOISE, DBSCANPredictor, dbscan_sequential
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.data import generate_clustered
+    from repro.kdtree import KDTree
+
+    g = generate_clustered(n=1000, num_clusters=3, cluster_std=8.0, seed=23)
+    tree = KDTree(g.points)
+    res = dbscan_sequential(g.points, 25.0, 5, tree=tree)
+    pred = DBSCANPredictor(g.points, res.labels, 25.0, 5, tree=tree)
+    return g, res, pred
+
+
+class TestPredict:
+    def test_training_points_get_their_own_cluster(self, fitted):
+        g, res, pred = fitted
+        idx = np.flatnonzero(res.labels >= 0)[:50]
+        got = pred.predict(g.points[idx])
+        np.testing.assert_array_equal(got, res.labels[idx])
+
+    def test_point_near_cluster_center_joins_it(self, fitted):
+        g, res, pred = fitted
+        center = g.clusters[0].center
+        label = pred.predict_one(center)
+        assert label != NOISE
+        # It must be the cluster whose members surround that center.
+        from repro.kdtree import KDTree
+
+        near = pred.tree.query_knn(center, 5)
+        assert label in set(res.labels[near].tolist())
+
+    def test_far_away_point_is_noise(self, fitted):
+        _g, _res, pred = fitted
+        assert pred.predict_one(np.full(10, -1e6)) == NOISE
+
+    def test_batch_predict_matches_single(self, fitted):
+        g, _res, pred = fitted
+        xs = g.points[:10] + 1.0
+        batch = pred.predict(xs)
+        singles = [pred.predict_one(x) for x in xs]
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_would_be_core(self, fitted):
+        g, _res, pred = fitted
+        assert pred.would_be_core(g.clusters[0].center)
+        assert not pred.would_be_core(np.full(10, -1e6))
+
+    def test_prediction_agrees_with_refit(self, fitted):
+        """Predicting x should match the cluster structure of refitting
+        with x included (border semantics, up to tie-breaks)."""
+        g, res, pred = fitted
+        # Take a point at a cluster's edge.
+        x = g.clusters[1].center + 12.0
+        label = pred.predict_one(x)
+        refit = dbscan_sequential(np.vstack([g.points, x[None]]), 25.0, 5)
+        refit_label = refit.labels[-1]
+        assert (label == NOISE) == (refit_label == NOISE)
+
+    def test_validation(self, fitted):
+        g, res, _pred = fitted
+        with pytest.raises(ValueError):
+            DBSCANPredictor(g.points, res.labels[:-1], 25.0, 5)
+        with pytest.raises(ValueError):
+            DBSCANPredictor(np.zeros(5), np.zeros(5), 25.0, 5)

@@ -1,0 +1,118 @@
+"""Property-based DBSCAN tests: the paper's equivalence claim under
+arbitrary data, partitioning, and parameters (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbscan import (
+    NOISE,
+    SparkDBSCAN,
+    clusterings_equivalent,
+    dbscan_sequential,
+    local_dbscan,
+    merge_partials,
+)
+from repro.engine.partitioner import IndexRangePartitioner
+from repro.kdtree import KDTree
+
+
+@st.composite
+def point_clouds(draw):
+    """Small 2-D clouds with clumps, to get interesting cluster structure."""
+    seed = draw(st.integers(0, 10_000))
+    n_clumps = draw(st.integers(1, 4))
+    per_clump = draw(st.integers(3, 25))
+    noise = draw(st.integers(0, 10))
+    rng = np.random.default_rng(seed)
+    blocks = [
+        rng.normal(rng.uniform(-50, 50, 2), draw(st.floats(0.3, 3.0)), (per_clump, 2))
+        for _ in range(n_clumps)
+    ]
+    if noise:
+        blocks.append(rng.uniform(-60, 60, (noise, 2)))
+    pts = np.vstack(blocks)
+    return pts[rng.permutation(len(pts))]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=point_clouds(),
+    p=st.integers(1, 6),
+    eps=st.floats(0.5, 8.0),
+    minpts=st.integers(2, 6),
+)
+def test_parallel_equivalent_to_sequential(pts, p, eps, minpts):
+    """The paper's central claim, as a property over random workloads."""
+    tree = KDTree(pts, leaf_size=8)
+    seq = dbscan_sequential(pts, eps, minpts, tree=tree)
+    par = SparkDBSCAN(eps, minpts, num_partitions=p).fit(pts, tree=tree)
+    ok, why = clusterings_equivalent(seq.labels, par.labels, pts, eps, minpts, tree=tree)
+    assert ok, why
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=point_clouds(), p=st.integers(2, 6), eps=st.floats(0.5, 8.0))
+def test_one_per_partition_policy_is_conservative(pts, p, eps):
+    """The literal Algorithm 3 cap never *invents* clustered points: its
+    clustered set is a subset of the exact policy's clustered set, and
+    core structure is preserved."""
+    minpts = 3
+    tree = KDTree(pts, leaf_size=8)
+    exact = SparkDBSCAN(eps, minpts, num_partitions=p).fit(pts, tree=tree)
+    capped = SparkDBSCAN(eps, minpts, num_partitions=p,
+                         seed_policy="one_per_partition").fit(pts, tree=tree)
+    clustered_exact = exact.labels != NOISE
+    clustered_capped = capped.labels != NOISE
+    assert (clustered_capped <= clustered_exact).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=point_clouds(), p=st.integers(1, 6), eps=st.floats(0.5, 8.0),
+       minpts=st.integers(2, 6))
+def test_partial_clusters_partition_own_members(pts, p, eps, minpts):
+    """Invariant: within one partition, partial clusters never share
+    members, and every member is in the partition's range."""
+    tree = KDTree(pts, leaf_size=8)
+    part = IndexRangePartitioner(len(pts), p)
+    for pid in range(p):
+        lo, hi = part.range_of(pid)
+        partials = local_dbscan(pid, range(lo, hi), pts, tree, eps, minpts, part)
+        seen: set[int] = set()
+        for c in partials:
+            assert not (seen & set(c.members))
+            seen.update(c.members)
+            assert all(lo <= m < hi for m in c.members)
+            assert all(not lo <= s < hi for s in c.seeds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=point_clouds(), p=st.integers(1, 6), eps=st.floats(0.5, 8.0),
+       minpts=st.integers(2, 6))
+def test_merge_is_partition_count_invariant_on_cores(pts, p, eps, minpts):
+    """Cluster count must not depend on the number of partitions."""
+    tree = KDTree(pts, leaf_size=8)
+    one = SparkDBSCAN(eps, minpts, num_partitions=1).fit(pts, tree=tree)
+    many = SparkDBSCAN(eps, minpts, num_partitions=p).fit(pts, tree=tree)
+    assert one.num_clusters == many.num_clusters
+    assert one.num_noise == many.num_noise
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=point_clouds(), eps=st.floats(0.5, 8.0), minpts=st.integers(2, 6),
+       p=st.integers(2, 5))
+def test_union_find_merge_order_invariant(pts, eps, minpts, p):
+    """Shuffling the accumulator's partial-cluster arrival order must not
+    change the union-find merge outcome."""
+    tree = KDTree(pts, leaf_size=8)
+    part = IndexRangePartitioner(len(pts), p)
+    partials = []
+    for pid in range(p):
+        lo, hi = part.range_of(pid)
+        partials.extend(local_dbscan(pid, range(lo, hi), pts, tree, eps, minpts, part))
+    a = merge_partials(list(partials), len(pts))
+    rng = np.random.default_rng(0)
+    shuffled = [partials[i] for i in rng.permutation(len(partials))]
+    b = merge_partials(shuffled, len(pts))
+    assert a.num_global_clusters == b.num_global_clusters
+    np.testing.assert_array_equal(a.labels == NOISE, b.labels == NOISE)

@@ -1,0 +1,126 @@
+"""Sequential DBSCAN (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.dbscan import NOISE, core_point_mask, dbscan_sequential, relabel_canonical
+from repro.kdtree import KDTree
+
+
+class TestBasicBehaviour:
+    def test_recovers_generated_clusters(self, blobs_small, blobs_small_tree):
+        res = dbscan_sequential(blobs_small.points, 25.0, 5, tree=blobs_small_tree)
+        assert res.num_clusters == 3
+
+    def test_noise_identified(self, blobs_small, blobs_small_tree):
+        res = dbscan_sequential(blobs_small.points, 25.0, 5, tree=blobs_small_tree)
+        true_noise = blobs_small.true_labels == -1
+        got_noise = res.labels == NOISE
+        # Uniform background noise at this density is isolated: nearly all
+        # of it must be flagged.
+        agreement = (true_noise == got_noise).mean()
+        assert agreement > 0.94
+
+    def test_cluster_membership_matches_ground_truth(self, blobs_small, blobs_small_tree):
+        res = dbscan_sequential(blobs_small.points, 25.0, 5, tree=blobs_small_tree)
+        # Every discovered cluster maps to exactly one true cluster.
+        for cid in range(res.num_clusters):
+            members = res.labels == cid
+            true_ids = blobs_small.true_labels[members]
+            true_ids = true_ids[true_ids >= 0]
+            assert np.unique(true_ids).size == 1
+
+    def test_all_points_labelled(self, blobs_small):
+        res = dbscan_sequential(blobs_small.points, 25.0, 5)
+        assert ((res.labels >= 0) | (res.labels == NOISE)).all()
+
+    def test_everything_noise_with_tiny_eps(self, blobs_small):
+        res = dbscan_sequential(blobs_small.points, 1e-9, 5)
+        assert res.num_clusters == 0
+        assert res.num_noise == blobs_small.n
+
+    def test_single_cluster_with_huge_eps(self, blobs_small):
+        res = dbscan_sequential(blobs_small.points, 1e6, 2)
+        assert res.num_clusters == 1
+        assert res.num_noise == 0
+
+    def test_minpts_one_makes_every_point_core(self, blobs_small):
+        res = dbscan_sequential(blobs_small.points, 25.0, 1)
+        assert res.num_noise == 0
+
+    def test_timings_populated(self, blobs_small):
+        res = dbscan_sequential(blobs_small.points, 25.0, 5)
+        assert res.timings.kdtree_build > 0
+        assert res.timings.wall >= res.timings.kdtree_build
+
+    def test_prebuilt_tree_skips_build_timing(self, blobs_small, blobs_small_tree):
+        res = dbscan_sequential(blobs_small.points, 25.0, 5, tree=blobs_small_tree)
+        assert res.timings.kdtree_build == 0.0
+
+    def test_input_validation(self, blobs_small):
+        with pytest.raises(ValueError):
+            dbscan_sequential(blobs_small.points, 25.0, 0)
+        with pytest.raises(ValueError):
+            dbscan_sequential(np.zeros(5), 25.0, 5)
+        with pytest.raises(ValueError):
+            dbscan_sequential(blobs_small.points, 25.0, 5, impl="gpu")
+
+
+class TestImplementationsAgree:
+    """Section III-B ablation: dict+deque vs numpy arrays — same output."""
+
+    def test_array_vs_hashtable_identical(self, blobs_medium, blobs_medium_tree):
+        a = dbscan_sequential(blobs_medium.points, 25.0, 5,
+                              tree=blobs_medium_tree, impl="array")
+        b = dbscan_sequential(blobs_medium.points, 25.0, 5,
+                              tree=blobs_medium_tree, impl="hashtable")
+        np.testing.assert_array_equal(
+            relabel_canonical(a.labels), relabel_canonical(b.labels)
+        )
+
+    @pytest.mark.parametrize("minpts", [1, 3, 8])
+    def test_agree_across_minpts(self, blobs_small, blobs_small_tree, minpts):
+        a = dbscan_sequential(blobs_small.points, 25.0, minpts,
+                              tree=blobs_small_tree, impl="array")
+        b = dbscan_sequential(blobs_small.points, 25.0, minpts,
+                              tree=blobs_small_tree, impl="hashtable")
+        np.testing.assert_array_equal(
+            relabel_canonical(a.labels), relabel_canonical(b.labels)
+        )
+
+
+class TestClassicShapes:
+    """DBSCAN's signature ability: arbitrary-shaped clusters (paper intro)."""
+
+    def test_two_moons_like_curves(self):
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, np.pi, 300)
+        upper = np.c_[np.cos(t), np.sin(t)] * 10 + rng.normal(0, 0.3, (300, 2))
+        lower = np.c_[1 - np.cos(t), 0.5 - np.sin(t)] * 10 + rng.normal(0, 0.3, (300, 2))
+        pts = np.vstack([upper, lower])
+        res = dbscan_sequential(pts, 1.5, 4)
+        assert res.num_clusters == 2
+        # K-means could never separate these; DBSCAN must.
+        assert (res.labels[:300] == res.labels[0]).mean() > 0.98
+        assert (res.labels[300:] == res.labels[300]).mean() > 0.98
+
+    def test_ring_around_blob(self):
+        rng = np.random.default_rng(1)
+        theta = rng.uniform(0, 2 * np.pi, 400)
+        ring = np.c_[np.cos(theta), np.sin(theta)] * 20 + rng.normal(0, 0.4, (400, 2))
+        blob = rng.normal(0, 1.5, (200, 2))
+        res = dbscan_sequential(np.vstack([ring, blob]), 3.0, 4)
+        assert res.num_clusters == 2
+
+
+class TestCorePointMask:
+    def test_mask_matches_definition(self, blobs_small, blobs_small_tree):
+        mask = core_point_mask(blobs_small.points, 25.0, 5, tree=blobs_small_tree)
+        for i in range(0, blobs_small.n, 37):
+            expected = blobs_small_tree.query_radius(blobs_small.points[i], 25.0).size >= 5
+            assert mask[i] == expected
+
+    def test_core_points_never_noise(self, blobs_small, blobs_small_tree):
+        mask = core_point_mask(blobs_small.points, 25.0, 5, tree=blobs_small_tree)
+        res = dbscan_sequential(blobs_small.points, 25.0, 5, tree=blobs_small_tree)
+        assert (res.labels[mask] >= 0).all()

@@ -1,0 +1,75 @@
+"""Spatial partitioning extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.dbscan import (
+    SparkDBSCAN,
+    SpatialSparkDBSCAN,
+    clusterings_equivalent,
+    dbscan_sequential,
+    spatial_order,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.data import generate_clustered
+    from repro.kdtree import KDTree
+
+    g = generate_clustered(n=2000, num_clusters=5, cluster_std=8.0, seed=3)
+    return g, KDTree(g.points)
+
+
+class TestSpatialOrder:
+    def test_is_permutation(self, data):
+        g, _ = data
+        perm = spatial_order(g.points)
+        assert sorted(perm.tolist()) == list(range(g.n))
+
+    def test_neighbors_become_index_local(self, data):
+        """After reordering, consecutive indices are spatially closer than
+        random pairs on average."""
+        g, _ = data
+        perm = spatial_order(g.points)
+        pts = g.points[perm]
+        consecutive = np.linalg.norm(pts[1:] - pts[:-1], axis=1).mean()
+        rng = np.random.default_rng(0)
+        i, j = rng.integers(0, g.n, 500), rng.integers(0, g.n, 500)
+        random_pairs = np.linalg.norm(pts[i] - pts[j], axis=1).mean()
+        assert consecutive < random_pairs * 0.5
+
+
+class TestSpatialSparkDBSCAN:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_equivalent_to_sequential(self, data, p):
+        g, tree = data
+        seq = dbscan_sequential(g.points, 25.0, 5, tree=tree)
+        res = SpatialSparkDBSCAN(25.0, 5, num_partitions=p).fit(g.points)
+        ok, why = clusterings_equivalent(seq.labels, res.labels, g.points,
+                                         25.0, 5, tree=tree)
+        assert ok, why
+
+    def test_labels_in_original_order(self, data):
+        """The permutation must be undone: same points, same labels as the
+        non-spatial version modulo renaming."""
+        from repro.dbscan import adjusted_rand_index
+
+        g, tree = data
+        plain = SparkDBSCAN(25.0, 5, num_partitions=4).fit(g.points, tree=tree)
+        spatial = SpatialSparkDBSCAN(25.0, 5, num_partitions=4).fit(g.points)
+        assert adjusted_rand_index(plain.labels, spatial.labels) == pytest.approx(1.0)
+
+    def test_fewer_seeds_than_index_partitioning(self, data):
+        """The future-work hypothesis: neighbourhood-aware partitioning
+        slashes cross-partition traffic."""
+        g, tree = data
+        plain = SparkDBSCAN(25.0, 5, num_partitions=8).fit(g.points, tree=tree)
+        spatial = SpatialSparkDBSCAN(25.0, 5, num_partitions=8).fit(g.points)
+        assert spatial.num_seeds < plain.num_seeds
+        assert spatial.num_partial_clusters <= plain.num_partial_clusters
+
+    def test_timings_include_reorder(self, data):
+        g, _ = data
+        res = SpatialSparkDBSCAN(25.0, 5, num_partitions=4).fit(g.points)
+        assert res.timings.setup > 0

@@ -1,0 +1,51 @@
+"""Timings/result dataclass semantics used by every figure."""
+
+import numpy as np
+
+from repro.dbscan import NOISE, ClusteringResult, Timings
+
+
+class TestTimings:
+    def test_driver_time_components(self):
+        t = Timings(kdtree_build=1.0, setup=0.5, driver_merge=2.0)
+        assert t.driver_time == 3.5
+
+    def test_parallel_wall(self):
+        t = Timings(kdtree_build=1.0, driver_merge=1.0, executor_max=4.0)
+        assert t.parallel_wall() == 6.0
+
+    def test_defaults_zero(self):
+        t = Timings()
+        assert t.driver_time == 0.0
+        assert t.executor_task_durations == []
+
+
+class TestClusteringResult:
+    def _result(self):
+        labels = np.array([0, 0, 1, NOISE, 1, 1, NOISE])
+        return ClusteringResult(labels=labels)
+
+    def test_counts(self):
+        r = self._result()
+        assert r.n == 7
+        assert r.num_clusters == 2
+        assert r.num_noise == 2
+
+    def test_cluster_sizes(self):
+        assert self._result().cluster_sizes() == {0: 2, 1: 3}
+
+    def test_summary_mentions_counts(self):
+        s = self._result().summary()
+        assert "2 clusters" in s
+        assert "2 noise" in s
+
+    def test_all_noise(self):
+        r = ClusteringResult(labels=np.full(5, NOISE))
+        assert r.num_clusters == 0
+        assert r.num_noise == 5
+        assert r.cluster_sizes() == {}
+
+    def test_empty(self):
+        r = ClusteringResult(labels=np.empty(0, dtype=np.int64))
+        assert r.n == 0
+        assert r.num_clusters == 0

@@ -1,0 +1,117 @@
+"""The validation utilities themselves."""
+
+import numpy as np
+import pytest
+
+from repro.dbscan import (
+    NOISE,
+    adjusted_rand_index,
+    clusterings_equivalent,
+    rand_index,
+    relabel_canonical,
+)
+
+
+class TestRelabelCanonical:
+    def test_first_appearance_order(self):
+        labels = np.array([5, 5, 2, NOISE, 2, 9])
+        np.testing.assert_array_equal(
+            relabel_canonical(labels), np.array([0, 0, 1, NOISE, 1, 2])
+        )
+
+    def test_idempotent(self):
+        labels = np.array([0, 1, NOISE, 1])
+        np.testing.assert_array_equal(relabel_canonical(labels), labels)
+
+
+class TestRandIndices:
+    def test_identical_labelings(self):
+        a = np.array([0, 0, 1, 1, NOISE])
+        assert rand_index(a, a) == 1.0
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_permuted_ids_still_perfect(self):
+        a = np.array([0, 0, 1, 1, 2])
+        b = np.array([7, 7, 3, 3, 1])
+        assert rand_index(a, b) == 1.0
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_disagreement_lowers_index(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        assert rand_index(a, b) < 1.0
+        assert adjusted_rand_index(a, b) < 1.0
+
+    def test_ari_near_zero_for_random(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 500)
+        b = rng.integers(0, 5, 500)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_noise_points_are_singletons(self):
+        # Two all-noise labelings agree perfectly.
+        a = np.full(4, NOISE)
+        assert rand_index(a, a) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rand_index(np.array([0]), np.array([0, 1]))
+
+
+class TestEquivalenceChecker:
+    def _simple(self):
+        """Points on a line: [0 1 2]   [10 11 12], eps=1.5, minpts=2."""
+        pts = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0], [50.0]])
+        labels = np.array([0, 0, 0, 1, 1, 1, NOISE])
+        return pts, labels
+
+    def test_accepts_identical(self):
+        pts, labels = self._simple()
+        ok, why = clusterings_equivalent(labels, labels, pts, 1.5, 2)
+        assert ok, why
+
+    def test_accepts_renamed_clusters(self):
+        pts, labels = self._simple()
+        renamed = np.where(labels == 0, 9, np.where(labels == 1, 4, labels))
+        ok, _ = clusterings_equivalent(labels, renamed, pts, 1.5, 2)
+        assert ok
+
+    def test_rejects_merged_clusters(self):
+        pts, labels = self._simple()
+        merged = np.where(labels == 1, 0, labels)
+        ok, why = clusterings_equivalent(labels, merged, pts, 1.5, 2)
+        assert not ok
+        assert "merged" in why or "split" in why
+
+    def test_rejects_core_marked_noise(self):
+        pts, labels = self._simple()
+        bad = labels.copy()
+        bad[0] = NOISE
+        ok, why = clusterings_equivalent(labels, bad, pts, 1.5, 2)
+        assert not ok
+        assert "noise" in why
+
+    def test_border_point_may_swing_between_clusters(self):
+        # Two dense chains with a single non-core point (at 3.1) exactly
+        # eps-reachable from the edge cores of both — the classic
+        # order-dependent border assignment both labelings may make.
+        pts = np.array(
+            [[0.0], [0.5], [1.0], [1.5], [3.1], [4.7], [5.2], [5.7], [6.2]]
+        )
+        a = np.array([0, 0, 0, 0, 0, 1, 1, 1, 1])  # border joins the left
+        b = np.array([0, 0, 0, 0, 1, 1, 1, 1, 1])  # border joins the right
+        ok, why = clusterings_equivalent(a, b, pts, 1.6, 4)
+        assert ok, why
+
+    def test_rejects_invalid_border_assignment(self):
+        pts, labels = self._simple()
+        bad = labels.copy()
+        bad[6] = 0  # the far-away point cannot belong to cluster 0
+        ok, why = clusterings_equivalent(labels, bad, pts, 1.5, 2)
+        assert not ok
+
+    def test_rejects_wrong_shapes(self):
+        pts, labels = self._simple()
+        ok, why = clusterings_equivalent(labels[:-1], labels, pts, 1.5, 2)
+        assert not ok
+        assert "shape" in why

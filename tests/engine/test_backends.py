@@ -1,0 +1,91 @@
+"""All execution backends must produce identical results."""
+
+import operator
+
+import pytest
+
+from repro.engine import SparkContext
+from repro.engine.backends import parse_master
+
+MASTERS = ["local", "local[3]", "threads[3]", "processes[2]", "simulated[8]"]
+
+
+@pytest.mark.parametrize("master", MASTERS)
+class TestBackendEquivalence:
+    def test_map_collect(self, master):
+        with SparkContext(master) as sc:
+            got = sc.parallelize(range(20), 4).map(lambda x: x * x).collect()
+        assert got == [x * x for x in range(20)]
+
+    def test_shuffle(self, master):
+        with SparkContext(master) as sc:
+            got = dict(
+                sc.parallelize([(i % 3, i) for i in range(30)], 4)
+                .reduce_by_key(operator.add)
+                .collect()
+            )
+        assert got == {0: sum(range(0, 30, 3)), 1: sum(range(1, 30, 3)), 2: sum(range(2, 30, 3))}
+
+    def test_accumulator(self, master):
+        with SparkContext(master) as sc:
+            acc = sc.accumulator()
+            sc.parallelize(range(12), 4).foreach(lambda x: acc.add(x))
+            assert acc.value == 66
+
+    def test_broadcast(self, master):
+        with SparkContext(master) as sc:
+            b = sc.broadcast({"offset": 5})
+            got = sc.parallelize(range(4), 2).map(lambda x: x + b.value["offset"]).collect()
+        assert got == [5, 6, 7, 8]
+
+    def test_cache(self, master):
+        with SparkContext(master) as sc:
+            r = sc.parallelize(range(10), 2).map(lambda x: x + 1).cache()
+            assert r.collect() == r.collect()
+
+
+class TestParseMaster:
+    def test_modes(self):
+        assert parse_master("local") == ("local", __import__("os").cpu_count() or 1)
+        assert parse_master("local[4]") == ("local", 4)
+        assert parse_master("threads[2]") == ("threads", 2)
+        assert parse_master("processes[8]") == ("processes", 8)
+        assert parse_master("simulated[512]") == ("simulated", 512)
+
+    def test_star_uses_cpu_count(self):
+        import os
+
+        assert parse_master("threads[*]")[1] == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", ["spark://host", "local[0]", "local[-1]", "", "yarn"])
+    def test_rejects_bad_masters(self, bad):
+        with pytest.raises(ValueError):
+            parse_master(bad)
+
+
+class TestProcessBackendBoundaries:
+    def test_closures_serialized_with_cloudpickle(self):
+        """Lambdas with captured state must cross the process boundary."""
+        offset = 17
+        with SparkContext("processes[2]") as sc:
+            got = sc.parallelize(range(4), 2).map(lambda x: x + offset).collect()
+        assert got == [17, 18, 19, 20]
+
+    def test_numpy_arrays_cross_boundary(self):
+        import numpy as np
+
+        with SparkContext("processes[2]") as sc:
+            arr = np.arange(10.0)
+            b = sc.broadcast(arr)
+            got = sc.parallelize(range(10), 2).map(lambda i: float(b.value[i])).collect()
+        assert got == [float(i) for i in range(10)]
+
+    def test_worker_failure_surfaces_as_job_abort(self):
+        from repro.engine import JobAbortedError
+
+        def die(x):
+            raise ValueError("kaboom")
+
+        with SparkContext("processes[2]") as sc:
+            with pytest.raises(JobAbortedError):
+                sc.parallelize([1], 1).map(die).collect()

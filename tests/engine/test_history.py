@@ -1,0 +1,65 @@
+"""History report from the event log."""
+
+from repro.engine import FaultPlan, SparkContext
+from repro.engine.history import format_history, load_history, summarize_events
+
+
+class TestSummarize:
+    def _run_app(self, path):
+        with SparkContext("local[2]", event_log_path=path) as sc:
+            sc.parallelize(range(8), 2).sum()
+            sc.parallelize([(i % 2, i) for i in range(8)], 2).reduce_by_key(
+                lambda a, b: a + b
+            ).collect()
+
+    def test_jobs_and_stages_counted(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        self._run_app(path)
+        app = load_history(path)
+        assert len(app.jobs) == 2
+        assert app.jobs[0].num_stages == 1
+        assert app.jobs[1].num_stages == 2
+        assert app.total_tasks == 2 + 4
+
+    def test_failures_counted(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with SparkContext("local[2]", event_log_path=path) as sc:
+            sc.fault_plan = FaultPlan(fail_attempts={(-1, 0): 2})
+            sc.parallelize(range(4), 2).collect()
+        app = load_history(path)
+        assert app.jobs[0].failed_attempts == 2
+        assert app.jobs[0].stages[0].num_tasks == 2  # distinct partitions
+
+    def test_shuffle_bytes_surface(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        self._run_app(path)
+        app = load_history(path)
+        shuffle_stages = [
+            s for j in app.jobs.values() for s in j.stages.values()
+            if s.shuffle_bytes_written
+        ]
+        assert shuffle_stages
+
+    def test_format_renders(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        self._run_app(path)
+        text = format_history(load_history(path))
+        assert "application:" in text
+        assert "stage 0:" in text
+
+    def test_empty_events(self):
+        app = summarize_events([])
+        assert app.total_tasks == 0
+        assert app.jobs == {}
+
+
+class TestCliHistory:
+    def test_history_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "log.jsonl")
+        with SparkContext("local[2]", event_log_path=path) as sc:
+            sc.parallelize(range(4), 2).count()
+        assert main(["history", path]) == 0
+        out = capsys.readouterr().out
+        assert "jobs: 1" in out

@@ -1,0 +1,75 @@
+"""Pair-RDD operations: cogroup and the join family."""
+
+import pytest
+
+
+@pytest.fixture
+def users(sc):
+    return sc.parallelize([(1, "ada"), (2, "grace"), (3, "edsger"), (1, "alan")], 2)
+
+
+@pytest.fixture
+def logins(sc):
+    return sc.parallelize([(1, "mon"), (3, "fri"), (4, "sat")], 2)
+
+
+class TestKeysValues:
+    def test_keys(self, sc, users):
+        assert sorted(users.keys().collect()) == [1, 1, 2, 3]
+
+    def test_values(self, sc, users):
+        assert sorted(users.values().collect()) == ["ada", "alan", "edsger", "grace"]
+
+    def test_flat_map_values(self, sc):
+        r = sc.parallelize([(1, "ab"), (2, "c")], 2)
+        got = sorted(r.flat_map_values(list).collect())
+        assert got == [(1, "a"), (1, "b"), (2, "c")]
+
+
+class TestCogroup:
+    def test_groups_both_sides(self, users, logins):
+        got = {k: (sorted(l), sorted(r)) for k, (l, r) in users.cogroup(logins).collect()}
+        assert got == {
+            1: (["ada", "alan"], ["mon"]),
+            2: (["grace"], []),
+            3: (["edsger"], ["fri"]),
+            4: ([], ["sat"]),
+        }
+
+    def test_empty_other(self, sc, users):
+        empty = sc.parallelize([], 2)
+        got = dict(users.cogroup(empty).collect())
+        assert all(rights == [] for _l, rights in got.values())
+
+
+class TestJoins:
+    def test_inner_join(self, users, logins):
+        got = sorted(users.join(logins).collect())
+        assert got == [
+            (1, ("ada", "mon")), (1, ("alan", "mon")), (3, ("edsger", "fri")),
+        ]
+
+    def test_left_outer_join(self, users, logins):
+        got = sorted(users.left_outer_join(logins).collect())
+        assert (2, ("grace", None)) in got
+        assert (1, ("ada", "mon")) in got
+        assert len(got) == 4  # 2 for key 1, 1 for key 2 (None), 1 for key 3
+
+    def test_subtract_by_key(self, users, logins):
+        got = sorted(users.subtract_by_key(logins).collect())
+        assert got == [(2, "grace")]
+
+    def test_join_with_duplicates_both_sides(self, sc):
+        a = sc.parallelize([("k", 1), ("k", 2)], 2)
+        b = sc.parallelize([("k", "x"), ("k", "y")], 2)
+        got = sorted(a.join(b).collect())
+        assert len(got) == 4  # cross product within the key
+
+    def test_join_matches_python_reference(self, sc, rng):
+        left = [(int(k), int(v)) for k, v in rng.integers(0, 8, (30, 2))]
+        right = [(int(k), int(v)) for k, v in rng.integers(0, 8, (20, 2))]
+        expected = sorted(
+            (k, (lv, rv)) for k, lv in left for k2, rv in right if k == k2
+        )
+        got = sorted(sc.parallelize(left, 3).join(sc.parallelize(right, 2)).collect())
+        assert got == expected

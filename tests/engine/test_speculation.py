@@ -1,0 +1,68 @@
+"""Speculative execution: attacking the paper's t_straggling term."""
+
+import pytest
+
+from repro.engine import FaultPlan, SparkContext
+
+
+class TestSpeculation:
+    def test_straggler_gets_duplicate_attempt(self):
+        with SparkContext("local[4]", speculation=True) as sc:
+            # Partition 2 is a deterministic straggler.
+            sc.fault_plan = FaultPlan(delays={(-1, 2): 0.2})
+            got = sc.parallelize(range(8), 4).map(lambda x: x + 1).collect()
+            assert got == [x + 1 for x in range(8)]
+            assert sc.task_scheduler.speculative_launches >= 1
+
+    def test_fast_duplicate_wins_in_scheduler(self):
+        """The scheduler's completed set keeps the faster attempt."""
+        from repro.engine.executor import Task
+
+        with SparkContext("local[4]", speculation=True) as sc:
+            plan = FaultPlan(delays={(-1, 1): 0.2})
+            rdd = sc.parallelize(range(8), 4).map(lambda x: x)
+            tasks = [
+                Task(job_id=0, stage_id=0, partition=p, attempt=0, rdd=rdd,
+                     kind="result", func=lambda _i, it: list(it),
+                     fault_plan=plan)
+                for p in range(4)
+            ]
+            completed = sc.task_scheduler.run_task_set(tasks)
+            # Attempt 1 (the clean duplicate) won partition 1.
+            assert completed[1].attempt == 1
+            assert completed[1].metrics.run_time < 0.1
+
+    def test_accumulator_still_exactly_once(self):
+        """The duplicate attempt must not double-count accumulators."""
+        with SparkContext("local[4]", speculation=True) as sc:
+            sc.fault_plan = FaultPlan(delays={(-1, 0): 0.2})
+            acc = sc.accumulator()
+            sc.parallelize(range(8), 4).foreach(lambda x: acc.add(1))
+            assert acc.value == 8
+
+    def test_no_speculation_without_stragglers(self):
+        with SparkContext("local[4]", speculation=True) as sc:
+            sc.parallelize(range(100), 4).map(lambda x: x).collect()
+            # Uniform tiny tasks: nothing should trip the 2x-median rule
+            # (they may occasionally due to scheduling noise; allow a little).
+            assert sc.task_scheduler.speculative_launches <= 2
+
+    def test_results_identical_with_and_without(self):
+        data = list(range(50))
+        with SparkContext("local[4]", speculation=True) as sc:
+            sc.fault_plan = FaultPlan(delays={(-1, 3): 0.15})
+            a = sc.parallelize(data, 4).map(lambda x: x * 3).collect()
+        with SparkContext("local[4]") as sc:
+            b = sc.parallelize(data, 4).map(lambda x: x * 3).collect()
+        assert a == b
+
+    def test_speculation_with_failures_still_retries(self):
+        with SparkContext("local[4]", speculation=True) as sc:
+            sc.fault_plan = FaultPlan(
+                fail_attempts={(-1, 1): 1}, delays={(-1, 2): 0.15}
+            )
+            assert sc.parallelize(range(8), 4).collect() == list(range(8))
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            SparkContext("local[2]", speculation=True, speculation_multiplier=1.0)

@@ -1,0 +1,168 @@
+"""Mini Spark Streaming: DStream semantics."""
+
+import pytest
+
+from repro.engine import SparkContext
+from repro.engine.streaming import StreamingContext
+
+
+@pytest.fixture
+def ssc(sc):
+    return StreamingContext(sc, num_partitions=2)
+
+
+class TestQueueStream:
+    def test_batches_flow_in_order(self, ssc):
+        out: list[list[int]] = []
+        ssc.queue_stream([[1, 2], [3], [4, 5, 6]]).collect_batches(out)
+        ssc.run(3)
+        assert out == [[1, 2], [3], [4, 5, 6]]
+
+    def test_exhausted_queue_yields_empty_batches(self, ssc):
+        out: list[list[int]] = []
+        ssc.queue_stream([[1]]).collect_batches(out)
+        ssc.run(3)
+        assert out == [[1], [], []]
+
+    def test_push_feeds_future_batches(self, ssc):
+        out: list[list[int]] = []
+        stream = ssc.queue_stream()
+        stream.collect_batches(out)
+        stream.push([7])
+        ssc.advance()
+        stream.push([8, 9])
+        ssc.advance()
+        assert out == [[7], [8, 9]]
+
+
+class TestTransformations:
+    def test_map_filter_flat_map(self, ssc):
+        out: list[list[int]] = []
+        (
+            ssc.queue_stream([["a bb", "ccc"], ["dddd"]])
+            .flat_map(str.split)
+            .map(len)
+            .filter(lambda n: n >= 2)
+            .collect_batches(out)
+        )
+        ssc.run(2)
+        assert out == [[2, 3], [4]]
+
+    def test_count_by_value(self, ssc):
+        out: list[list[tuple[str, int]]] = []
+        ssc.queue_stream([["x", "y", "x"], ["y"]]).count_by_value().collect_batches(out)
+        ssc.run(2)
+        assert sorted(out[0]) == [("x", 2), ("y", 1)]
+        assert out[1] == [("y", 1)]
+
+    def test_reduce_by_key_per_batch(self, ssc):
+        out: list[list[tuple[str, int]]] = []
+        (
+            ssc.queue_stream([[("a", 1), ("a", 2)], [("a", 5)]])
+            .reduce_by_key(lambda x, y: x + y)
+            .collect_batches(out)
+        )
+        ssc.run(2)
+        assert out == [[("a", 3)], [("a", 5)]]  # per-batch, not global
+
+    def test_foreach_rdd_sees_batch_index(self, ssc):
+        seen: list[int] = []
+        ssc.queue_stream([[1], [2]]).foreach_rdd(lambda i, _rdd: seen.append(i))
+        ssc.run(2)
+        assert seen == [0, 1]
+
+
+class TestWindow:
+    def test_window_unions_recent_batches(self, ssc):
+        out: list[list[int]] = []
+        ssc.queue_stream([[1], [2], [3], [4]]).window(2).collect_batches(out)
+        ssc.run(4)
+        assert [sorted(b) for b in out] == [[1], [1, 2], [2, 3], [3, 4]]
+
+    def test_window_of_one_is_identity(self, ssc):
+        out: list[list[int]] = []
+        ssc.queue_stream([[1], [2]]).window(1).collect_batches(out)
+        ssc.run(2)
+        assert out == [[1], [2]]
+
+    def test_window_then_aggregate(self, ssc):
+        out: list[list[tuple[str, int]]] = []
+        (
+            ssc.queue_stream([[("k", 1)], [("k", 2)], [("k", 4)]])
+            .window(3)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_batches(out)
+        )
+        ssc.run(3)
+        assert out == [[("k", 1)], [("k", 3)], [("k", 7)]]
+
+    def test_bad_window_length(self, ssc):
+        with pytest.raises(ValueError):
+            ssc.queue_stream([]).window(0)
+
+
+class TestStatefulStream:
+    def test_running_counts(self, ssc):
+        out: list[list[tuple[str, int]]] = []
+
+        def update(new, old):
+            return (old or 0) + sum(new)
+
+        (
+            ssc.queue_stream([[("a", 1), ("b", 1)], [("a", 2)], [("b", 5)]])
+            .update_state_by_key(update)
+            .collect_batches(out)
+        )
+        ssc.run(3)
+        assert sorted(out[0]) == [("a", 1), ("b", 1)]
+        assert sorted(out[1]) == [("a", 3), ("b", 1)]
+        assert sorted(out[2]) == [("a", 3), ("b", 6)]
+
+    def test_returning_none_drops_key(self, ssc):
+        out: list[list[tuple[str, int]]] = []
+
+        def update(new, old):
+            total = (old or 0) + sum(new)
+            return None if total > 2 else total
+
+        (
+            ssc.queue_stream([[("k", 1)], [("k", 2)], []])
+            .update_state_by_key(update)
+            .collect_batches(out)
+        )
+        ssc.run(3)
+        assert out[0] == [("k", 1)]
+        assert out[1] == []      # 1+2 > 2: dropped
+        assert out[2] == []
+
+    def test_idle_keys_still_updated(self, ssc):
+        """Keys with no new data age via update([], old) — Spark semantics."""
+        calls: list[tuple[list, object]] = []
+
+        def update(new, old):
+            calls.append((new, old))
+            return (old or 0) + len(new)
+
+        ssc.queue_stream([[("a", 1)], []]).update_state_by_key(update)
+        ssc.run(2)
+        assert ([], 1) in calls  # second batch updated 'a' with no values
+
+
+class TestComposition:
+    def test_two_sinks_one_stream(self, ssc):
+        a: list[list[int]] = []
+        b: list[list[int]] = []
+        stream = ssc.queue_stream([[1, 2]])
+        stream.collect_batches(a)
+        stream.map(lambda x: x * 10).collect_batches(b)
+        ssc.run(1)
+        assert a == [[1, 2]]
+        assert b == [[10, 20]]
+
+    def test_streaming_over_processes_backend(self):
+        with SparkContext("processes[2]") as sc:
+            ssc = StreamingContext(sc, num_partitions=2)
+            out: list[list[int]] = []
+            ssc.queue_stream([[1, 2, 3]]).map(lambda x: x * x).collect_batches(out)
+            ssc.run(1)
+        assert out == [[1, 4, 9]]

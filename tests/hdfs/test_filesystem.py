@@ -1,0 +1,121 @@
+"""MiniHDFS: block storage, replication, splits, failure recovery."""
+
+import pytest
+
+from repro.hdfs import MiniHDFS
+
+
+@pytest.fixture
+def fs(tmp_path):
+    return MiniHDFS(str(tmp_path), block_size=64, replication=2, num_datanodes=3)
+
+
+class TestBasicOps:
+    def test_roundtrip_bytes(self, fs):
+        data = b"hello world" * 50
+        fs.put_bytes("/a", data)
+        assert fs.get_bytes("/a") == data
+
+    def test_roundtrip_text(self, fs):
+        fs.put_text("/t", "line1\nline2\n")
+        assert fs.get_text("/t") == "line1\nline2\n"
+
+    def test_file_split_into_blocks(self, fs):
+        fs.put_bytes("/big", b"x" * 300)
+        info = fs.namenode.get_file("/big")
+        assert len(info.blocks) == 5  # ceil(300/64)
+        assert info.size == 300
+
+    def test_each_block_replicated(self, fs):
+        fs.put_bytes("/r", b"y" * 200)
+        for block in fs.namenode.get_file("/r").blocks:
+            assert len(block.replicas) == 2
+            for d in block.replicas:
+                assert fs.datanodes[d].has_block(block.block_id)
+
+    def test_exists_listdir_delete(self, fs):
+        fs.put_text("/dir/a", "1")
+        fs.put_text("/dir/b", "2")
+        fs.put_text("/other", "3")
+        assert fs.exists("/dir/a")
+        assert fs.listdir("/dir/") == ["/dir/a", "/dir/b"]
+        fs.delete("/dir/a")
+        assert not fs.exists("/dir/a")
+        with pytest.raises(FileNotFoundError):
+            fs.get_bytes("/dir/a")
+
+    def test_duplicate_path_rejected(self, fs):
+        fs.put_text("/dup", "a")
+        with pytest.raises(FileExistsError):
+            fs.put_text("/dup", "b")
+
+    def test_put_local_file(self, fs, tmp_path):
+        local = tmp_path / "src.txt"
+        local.write_text("content here")
+        fs.put_local_file(str(local), "/copied")
+        assert fs.get_text("/copied") == "content here"
+
+    def test_empty_file(self, fs):
+        fs.put_bytes("/empty", b"")
+        assert fs.get_bytes("/empty") == b""
+
+
+class TestSplits:
+    def test_splits_cover_lines_exactly_once(self, fs):
+        lines = [f"record {i} {'abc' * (i % 5)}" for i in range(100)]
+        fs.put_text("/data", "\n".join(lines) + "\n")
+        f = fs.open("/data")
+        got = [line for i in range(f.num_splits()) for line in f.read_split(i)]
+        assert got == lines
+
+    def test_line_spanning_multiple_blocks(self, tmp_path):
+        fs = MiniHDFS(str(tmp_path), block_size=16, replication=1, num_datanodes=2)
+        lines = ["short", "x" * 100, "tail"]  # middle line spans many blocks
+        fs.put_text("/span", "\n".join(lines) + "\n")
+        f = fs.open("/span")
+        got = [line for i in range(f.num_splits()) for line in f.read_split(i)]
+        assert got == lines
+
+    def test_into_spark_rdd(self, fs, sc):
+        lines = [str(i * 1.5) for i in range(50)]
+        fs.put_text("/nums", "\n".join(lines) + "\n")
+        rdd = sc.from_source(fs.open("/nums"))
+        assert rdd.map(float).collect() == [i * 1.5 for i in range(50)]
+
+    def test_split_index_out_of_range(self, fs):
+        fs.put_text("/x", "a\n")
+        f = fs.open("/x")
+        with pytest.raises(IndexError):
+            f.read_split(99)
+
+
+class TestFailures:
+    def test_read_survives_one_datanode_loss(self, fs):
+        data = b"important" * 40
+        fs.put_bytes("/f", data)
+        fs.kill_datanode(0)
+        assert fs.get_bytes("/f") == data
+
+    def test_read_fails_when_all_replicas_dead(self, tmp_path):
+        fs = MiniHDFS(str(tmp_path), block_size=64, replication=1, num_datanodes=2)
+        fs.put_bytes("/f", b"z" * 10)
+        info = fs.namenode.get_file("/f")
+        only_replica = info.blocks[0].replicas[0]
+        fs.kill_datanode(only_replica)
+        with pytest.raises(IOError):
+            fs.get_bytes("/f")
+
+    def test_re_replication_restores_factor(self, fs):
+        fs.put_bytes("/f", b"q" * 200)
+        fs.kill_datanode(1)
+        under = fs.namenode.under_replicated_blocks()
+        created = fs.re_replicate()
+        assert created == len(under)
+        assert fs.namenode.under_replicated_blocks() == []
+        # And reads still work after another failure of a different node.
+        assert fs.get_bytes("/f") == b"q" * 200
+
+    def test_replication_capped_by_datanodes(self, tmp_path):
+        fs = MiniHDFS(str(tmp_path), block_size=64, replication=5, num_datanodes=2)
+        fs.put_bytes("/f", b"w" * 10)
+        assert len(fs.namenode.get_file("/f").blocks[0].replicas) == 2

@@ -1,0 +1,59 @@
+"""Property-based HDFS tests (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs import MiniHDFS
+
+payloads = st.binary(min_size=0, max_size=4000)
+line_lists = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=60,
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=payloads, block_size=st.integers(16, 512))
+def test_put_get_roundtrip(tmp_path_factory, data, block_size):
+    fs = MiniHDFS(str(tmp_path_factory.mktemp("hdfs")), block_size=block_size,
+                  replication=2, num_datanodes=3)
+    fs.put_bytes("/f", data)
+    assert fs.get_bytes("/f") == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(lines=line_lists, block_size=st.integers(16, 256))
+def test_splits_cover_lines_exactly_once(tmp_path_factory, lines, block_size):
+    fs = MiniHDFS(str(tmp_path_factory.mktemp("hdfs")), block_size=block_size,
+                  replication=1, num_datanodes=2)
+    text = "".join(line + "\n" for line in lines)
+    fs.put_text("/f", text)
+    f = fs.open("/f")
+    got = [line for i in range(f.num_splits()) for line in f.read_split(i)]
+    assert got == lines
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.binary(min_size=1, max_size=2000), kill=st.integers(0, 2))
+def test_single_datanode_loss_never_loses_data(tmp_path_factory, data, kill):
+    fs = MiniHDFS(str(tmp_path_factory.mktemp("hdfs")), block_size=64,
+                  replication=2, num_datanodes=3)
+    fs.put_bytes("/f", data)
+    fs.kill_datanode(kill)
+    assert fs.get_bytes("/f") == data
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.binary(min_size=1, max_size=1500))
+def test_re_replication_then_second_failure_still_readable(tmp_path_factory, data):
+    fs = MiniHDFS(str(tmp_path_factory.mktemp("hdfs")), block_size=64,
+                  replication=2, num_datanodes=4)
+    fs.put_bytes("/f", data)
+    fs.kill_datanode(0)
+    fs.re_replicate()
+    fs.kill_datanode(1)
+    assert fs.get_bytes("/f") == data

@@ -1,0 +1,78 @@
+"""Cross-substrate integration: every layer of the stack in one flow.
+
+Exercises the complete deployment story the paper describes plus the
+repo's extensions: data generated → persisted to HDFS → read as an RDD
+with processes-backend executors → clustered by the SEED algorithm →
+labels validated → new points assigned by the predictor → the stream
+layer keeps counting while incremental DBSCAN ingests late arrivals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_clustered, parse_point_line, save_points
+from repro.dbscan import (
+    DBSCANPredictor,
+    IncrementalDBSCAN,
+    SparkDBSCAN,
+    clusterings_equivalent,
+    dbscan_sequential,
+)
+from repro.engine import SparkContext, StreamingContext
+from repro.hdfs import MiniHDFS
+from repro.kdtree import KDTree
+
+EPS, MINPTS = 25.0, 5
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("world")
+    g = generate_clustered(n=900, num_clusters=3, cluster_std=8.0, seed=31)
+    local = tmp / "points.txt"
+    save_points(str(local), g.points)
+    fs = MiniHDFS(str(tmp / "hdfs"), block_size=16 * 1024, replication=2,
+                  num_datanodes=3)
+    fs.put_local_file(str(local), "/data/points.txt")
+    return g, fs
+
+
+def test_full_stack_with_process_executors(world):
+    g, fs = world
+    with SparkContext("processes[2]") as sc:
+        lines = sc.from_source(fs.open("/data/points.txt"))
+        points = np.vstack(lines.map(parse_point_line).collect())
+        result = SparkDBSCAN(EPS, MINPTS, num_partitions=2).fit(points, sc=sc)
+    tree = KDTree(g.points)
+    seq = dbscan_sequential(g.points, EPS, MINPTS, tree=tree)
+    ok, why = clusterings_equivalent(seq.labels, result.labels, g.points,
+                                     EPS, MINPTS, tree=tree)
+    assert ok, why
+
+    # Predictor over the fitted model classifies fresh samples sensibly.
+    pred = DBSCANPredictor(g.points, result.labels, EPS, MINPTS, tree=tree)
+    center_label = pred.predict_one(g.clusters[0].center)
+    assert center_label >= 0
+    assert pred.predict_one(np.full(10, 1e7)) == -1
+
+
+def test_streaming_feed_into_incremental(world):
+    g, _fs = world
+    inc = IncrementalDBSCAN(EPS, MINPTS, d=10)
+    with SparkContext("local[2]") as sc:
+        ssc = StreamingContext(sc, num_partitions=2)
+        batches = [g.points[i : i + 300].tolist() for i in range(0, g.n, 300)]
+        stream = ssc.queue_stream(batches)
+        counts: list[list[tuple[str, int]]] = []
+        stream.map(lambda _p: ("points", 1)).window(10).reduce_by_key(
+            lambda a, b: a + b
+        ).collect_batches(counts)
+        stream.foreach_rdd(
+            lambda _i, rdd: [inc.insert(np.asarray(p)) for p in rdd.collect()]
+        )
+        ssc.run(len(batches))
+    assert counts[-1] == [("points", g.n)]
+    # The incremental view matches batch DBSCAN over everything seen.
+    seq = dbscan_sequential(g.points, EPS, MINPTS)
+    ok, why = clusterings_equivalent(seq.labels, inc.labels, g.points, EPS, MINPTS)
+    assert ok, why

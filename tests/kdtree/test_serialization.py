@@ -1,0 +1,48 @@
+"""kd-tree serialization: broadcast and distributed-cache both pickle it."""
+
+import pickle
+
+import numpy as np
+
+from repro.kdtree import KDTree
+
+
+class TestPickleRoundtrip:
+    def test_queries_identical_after_roundtrip(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, (500, 10))
+        tree = KDTree(pts, leaf_size=16)
+        clone: KDTree = pickle.loads(pickle.dumps(tree))
+        for i in range(0, 500, 37):
+            np.testing.assert_array_equal(
+                np.sort(tree.query_radius(pts[i], 20.0)),
+                np.sort(clone.query_radius(pts[i], 20.0)),
+            )
+
+    def test_metadata_preserved(self):
+        pts = np.random.default_rng(1).uniform(0, 10, (100, 3))
+        tree = KDTree(pts, leaf_size=8)
+        clone: KDTree = pickle.loads(pickle.dumps(tree))
+        assert clone.n == tree.n
+        assert clone.leaf_size == tree.leaf_size
+        assert clone.num_nodes == tree.num_nodes
+        np.testing.assert_array_equal(clone.points, tree.points)
+
+    def test_broadcast_through_processes(self):
+        """The paper's deployment: the tree as a broadcast variable read by
+        remote executors."""
+        from repro.engine import SparkContext
+
+        pts = np.random.default_rng(2).uniform(0, 50, (200, 4))
+        tree = KDTree(pts)
+        with SparkContext("processes[2]") as sc:
+            tree_b = sc.broadcast(tree)
+            counts = (
+                sc.parallelize(range(0, 200, 10), 2)
+                .map(lambda i: int(tree_b.value.query_radius(
+                    tree_b.value.points[i], 10.0).size))
+                .collect()
+            )
+        expected = [int(tree.query_radius(pts[i], 10.0).size)
+                    for i in range(0, 200, 10)]
+        assert counts == expected

@@ -1,0 +1,128 @@
+"""MapReduce job correctness: wordcount and friends."""
+
+from collections import Counter
+
+import pytest
+
+from repro.engine.fault import FaultPlan
+from repro.mapreduce import MapReduceJob
+
+DOC = (
+    "the quick brown fox jumps over the lazy dog "
+    "the dog barks and the fox runs away over the hill"
+).split()
+
+
+def word_mapper(_key, word):
+    yield (word, 1)
+
+
+def count_reducer(word, counts):
+    yield (word, sum(counts))
+
+
+class TestWordCount:
+    def _records(self):
+        return [(i, w) for i, w in enumerate(DOC)]
+
+    def test_matches_counter(self, tmp_path):
+        job = MapReduceJob(word_mapper, count_reducer, num_reducers=3,
+                           tmp_dir=str(tmp_path))
+        got = dict(job.run_on_records(self._records(), num_maps=4))
+        assert got == dict(Counter(DOC))
+
+    def test_single_reducer(self, tmp_path):
+        job = MapReduceJob(word_mapper, count_reducer, num_reducers=1,
+                           tmp_dir=str(tmp_path))
+        got = dict(job.run_on_records(self._records(), num_maps=2))
+        assert got == dict(Counter(DOC))
+
+    def test_combiner_same_answer_fewer_bytes(self, tmp_path):
+        no_comb = MapReduceJob(word_mapper, count_reducer, num_reducers=2,
+                               tmp_dir=str(tmp_path / "a"))
+        with_comb = MapReduceJob(word_mapper, count_reducer, combiner=count_reducer,
+                                 num_reducers=2, tmp_dir=str(tmp_path / "b"))
+        a = dict(no_comb.run_on_records(self._records(), num_maps=3))
+        b = dict(with_comb.run_on_records(self._records(), num_maps=3))
+        assert a == b == dict(Counter(DOC))
+        assert with_comb.stats.spill_bytes < no_comb.stats.spill_bytes
+
+    def test_reduce_output_grouped_and_sorted_keys_within_reducer(self, tmp_path):
+        job = MapReduceJob(word_mapper, count_reducer, num_reducers=1,
+                           tmp_dir=str(tmp_path))
+        out = job.run_on_records(self._records(), num_maps=3)
+        keys = [k for k, _ in out]
+        assert keys == sorted(keys)  # merge-sorted reduce input
+
+    def test_stats_recorded(self, tmp_path):
+        job = MapReduceJob(word_mapper, count_reducer, num_reducers=2,
+                           tmp_dir=str(tmp_path), startup_overhead=0.25)
+        job.run_on_records(self._records(), num_maps=3)
+        s = job.stats
+        assert len(s.map_task_durations) == 3
+        assert len(s.reduce_task_durations) == 2
+        assert s.spill_bytes > 0
+        assert s.shuffle_bytes > 0
+        assert s.wall(4) >= 0.25  # includes startup overhead
+
+    def test_wall_monotone_in_slots(self, tmp_path):
+        job = MapReduceJob(word_mapper, count_reducer, num_reducers=2,
+                           tmp_dir=str(tmp_path))
+        job.run_on_records(self._records(), num_maps=4)
+        assert job.stats.wall(1) >= job.stats.wall(2) >= job.stats.wall(8)
+
+
+class TestValidationAndFaults:
+    def test_rejects_bad_reducer_count(self):
+        with pytest.raises(ValueError):
+            MapReduceJob(word_mapper, count_reducer, num_reducers=0)
+
+    def test_rejects_bad_num_maps(self, tmp_path):
+        job = MapReduceJob(word_mapper, count_reducer, tmp_dir=str(tmp_path))
+        with pytest.raises(ValueError):
+            job.run_on_records([(0, "a")], num_maps=0)
+
+    def test_map_task_retry_recovers(self, tmp_path):
+        plan = FaultPlan(fail_attempts={(0, 1): 2})  # map task 1 fails twice
+        job = MapReduceJob(word_mapper, count_reducer, num_reducers=1,
+                           tmp_dir=str(tmp_path), fault_plan=plan)
+        got = dict(job.run_on_records([(i, w) for i, w in enumerate(DOC)], num_maps=3))
+        assert got == dict(Counter(DOC))
+        assert job.stats.map_attempts == 5  # 3 tasks + 2 retries
+
+    def test_reduce_task_retry_recovers(self, tmp_path):
+        plan = FaultPlan(fail_attempts={(1, 0): 1})
+        job = MapReduceJob(word_mapper, count_reducer, num_reducers=2,
+                           tmp_dir=str(tmp_path), fault_plan=plan)
+        got = dict(job.run_on_records([(i, w) for i, w in enumerate(DOC)], num_maps=2))
+        assert got == dict(Counter(DOC))
+        assert job.stats.reduce_attempts == 3
+
+    def test_permanent_failure_raises(self, tmp_path):
+        from repro.engine.errors import InjectedFault
+
+        plan = FaultPlan(fail_attempts={(0, 0): 100})
+        job = MapReduceJob(word_mapper, count_reducer, tmp_dir=str(tmp_path),
+                           fault_plan=plan)
+        with pytest.raises(InjectedFault):
+            job.run_on_records([(0, "a")], num_maps=1)
+
+
+class TestOtherJobs:
+    def test_inverted_index(self, tmp_path):
+        docs = [(0, "apple banana"), (1, "banana cherry"), (2, "apple")]
+
+        def mapper(doc_id, text):
+            for w in text.split():
+                yield (w, doc_id)
+
+        def reducer(word, ids):
+            yield (word, sorted(set(ids)))
+
+        job = MapReduceJob(mapper, reducer, num_reducers=2, tmp_dir=str(tmp_path))
+        got = dict(kv for out in job.run([docs]) for kv in out)
+        assert got == {"apple": [0, 2], "banana": [0, 1], "cherry": [1]}
+
+    def test_empty_input(self, tmp_path):
+        job = MapReduceJob(word_mapper, count_reducer, tmp_dir=str(tmp_path))
+        assert job.run([[]]) == [[]]

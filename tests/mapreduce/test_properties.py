@@ -1,0 +1,91 @@
+"""Property-based MapReduce tests (hypothesis)."""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import MapReduceJob
+
+words = st.lists(st.sampled_from("abcdefgh"), min_size=0, max_size=80)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ws=words, num_maps=st.integers(1, 5), num_reducers=st.integers(1, 4))
+def test_wordcount_matches_counter(tmp_path_factory, ws, num_maps, num_reducers):
+    tmp = tmp_path_factory.mktemp("mr")
+    job = MapReduceJob(
+        mapper=lambda _k, w: [(w, 1)],
+        reducer=lambda w, counts: [(w, sum(counts))],
+        num_reducers=num_reducers,
+        tmp_dir=str(tmp),
+    )
+    records = list(enumerate(ws))
+    got = dict(job.run_on_records(records, num_maps=num_maps))
+    assert got == dict(Counter(ws))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(st.tuples(st.integers(0, 6), st.integers(-50, 50)), max_size=60),
+    num_maps=st.integers(1, 4),
+)
+def test_groupby_sum_matches_python(tmp_path_factory, pairs, num_maps):
+    tmp = tmp_path_factory.mktemp("mr")
+    expected: dict[int, int] = defaultdict(int)
+    for k, v in pairs:
+        expected[k] += v
+    job = MapReduceJob(
+        mapper=lambda k, v: [(k, v)],
+        reducer=lambda k, vs: [(k, sum(vs))],
+        num_reducers=2,
+        tmp_dir=str(tmp),
+    )
+    got = dict(job.run_on_records(pairs, num_maps=num_maps))
+    assert got == dict(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ws=words, num_maps=st.integers(1, 4))
+def test_combiner_never_changes_result(tmp_path_factory, ws, num_maps):
+    """A combiner is an optimisation; with an associative-commutative
+    reducer the output must be identical with and without it."""
+    def mapper(_k, w):
+        return [(w, 1)]
+
+    def reducer(w, counts):
+        return [(w, sum(counts))]
+
+    tmp = tmp_path_factory.mktemp("mr")
+    plain = MapReduceJob(mapper, reducer, num_reducers=2,
+                         tmp_dir=str(tmp / "a"))
+    combined = MapReduceJob(mapper, reducer, combiner=reducer, num_reducers=2,
+                            tmp_dir=str(tmp / "b"))
+    records = list(enumerate(ws))
+    a = dict(plain.run_on_records(records, num_maps=num_maps))
+    b = dict(combined.run_on_records(records, num_maps=num_maps))
+    assert a == b
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 100), min_size=1, max_size=50),
+    num_reducers=st.integers(1, 5),
+)
+def test_each_key_handled_by_exactly_one_reducer(tmp_path_factory, keys, num_reducers):
+    tmp = tmp_path_factory.mktemp("mr")
+    job = MapReduceJob(
+        mapper=lambda _k, v: [(v, 1)],
+        reducer=lambda k, vs: [(k, len(vs))],
+        num_reducers=num_reducers,
+        tmp_dir=str(tmp),
+    )
+    outputs = job.run(
+        [[(i, k) for i, k in enumerate(keys)]]
+    )
+    seen: dict[int, int] = {}
+    for r, out in enumerate(outputs):
+        for k, _count in out:
+            assert k not in seen, f"key {k} emitted by reducers {seen[k]} and {r}"
+            seen[k] = r
+    assert set(seen) == set(keys)

@@ -1,0 +1,84 @@
+"""JobTracker/TaskTracker heartbeat failure-detection model."""
+
+import pytest
+
+from repro.mapreduce import JobTracker, TaskState
+
+
+class TestScheduling:
+    def test_round_robin_assignment(self):
+        jt = JobTracker(num_trackers=2)
+        jt.submit(4)
+        assignments = jt.assign_pending()
+        assert len(assignments) == 4
+        trackers = [t for _, t in assignments]
+        assert trackers == [0, 1, 0, 1]
+
+    def test_complete_all(self):
+        jt = JobTracker(num_trackers=2)
+        jt.submit(3)
+        for task_id, _ in jt.assign_pending():
+            jt.complete(task_id)
+        assert jt.all_done
+
+    def test_complete_unassigned_rejected(self):
+        jt = JobTracker(num_trackers=1)
+        jt.submit(1)
+        with pytest.raises(RuntimeError):
+            jt.complete(0)
+
+
+class TestFailureDetection:
+    def test_heartbeat_timeout_reschedules(self):
+        jt = JobTracker(num_trackers=2, heartbeat_timeout=1.0)
+        jt.submit(2)
+        jt.assign_pending()
+        jt.heartbeat(0)
+        jt.heartbeat(1)
+        # Tracker 1 goes silent; time passes beyond the timeout.
+        jt.heartbeat(0, now=2.5)
+        jt.advance_clock(2.5)
+        dead = [t for t in jt.trackers if not t.alive]
+        assert len(dead) >= 1
+        assert jt.reschedules >= 1
+        # The orphaned task is pending again and reassignable.
+        reassigned = jt.assign_pending()
+        assert all(tr == 0 for _, tr in reassigned if jt.trackers[0].alive)
+
+    def test_kill_tracker_requeues_running_tasks(self):
+        jt = JobTracker(num_trackers=2)
+        jt.submit(4)
+        jt.assign_pending()
+        jt.kill_tracker(1)
+        pending = [t for t in jt.tasks.values() if t.state is TaskState.PENDING]
+        assert len(pending) == 2
+        assert jt.reschedules == 2
+        # Survivor picks everything up; job completes.
+        for task_id, tracker in jt.assign_pending():
+            assert tracker == 0
+        for task in jt.tasks.values():
+            if task.state is TaskState.RUNNING:
+                jt.complete(task.task_id)
+        assert jt.all_done
+
+    def test_dead_tracker_cannot_heartbeat(self):
+        jt = JobTracker(num_trackers=1)
+        jt.kill_tracker(0)
+        with pytest.raises(RuntimeError):
+            jt.heartbeat(0)
+
+    def test_no_live_trackers_raises(self):
+        jt = JobTracker(num_trackers=1)
+        jt.submit(1)
+        jt.kill_tracker(0)
+        with pytest.raises(RuntimeError):
+            jt.assign_pending()
+
+    def test_attempt_counter_increments_on_reschedule(self):
+        jt = JobTracker(num_trackers=2)
+        jt.submit(2)
+        jt.assign_pending()
+        jt.kill_tracker(0)
+        jt.assign_pending()
+        attempts = sorted(t.attempts for t in jt.tasks.values())
+        assert attempts == [1, 2]

@@ -1,0 +1,90 @@
+"""CLI smoke and behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_table1(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("c10k", "c100k", "r10k", "r100k", "r1m"):
+            assert name in out
+
+
+class TestGenerate:
+    def test_writes_points_file(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        path = tmp_path / "pts.txt"
+        assert main(["generate", "r10k", "-o", str(path)]) == 0
+        pts = np.loadtxt(path)
+        assert pts.shape[1] == 10
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCluster:
+    @pytest.fixture
+    def points_file(self, tmp_path):
+        from repro.data import generate_clustered, save_points
+
+        g = generate_clustered(n=400, num_clusters=3, cluster_std=8.0, seed=5)
+        path = tmp_path / "p.txt"
+        save_points(str(path), g.points)
+        return str(path)
+
+    @pytest.mark.parametrize("algo", ["spark", "sequential", "spatial"])
+    def test_cluster_algorithms(self, points_file, capsys, algo):
+        assert main(["cluster", points_file, "--algorithm", algo,
+                     "--partitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 clusters" in out
+
+    def test_cluster_mapreduce(self, points_file, capsys):
+        assert main(["cluster", points_file, "--algorithm", "mapreduce",
+                     "--partitions", "2"]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_cluster_naive(self, points_file, capsys):
+        assert main(["cluster", points_file, "--algorithm", "naive",
+                     "--partitions", "2"]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_labels_out(self, points_file, tmp_path, capsys):
+        labels_path = tmp_path / "labels.txt"
+        assert main(["cluster", points_file, "--labels-out", str(labels_path)]) == 0
+        labels = np.loadtxt(labels_path, dtype=int)
+        assert labels.shape == (400,)
+        assert (labels >= -1).all()
+
+    def test_dataset_name_as_source(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["cluster", "c10k", "--partitions", "2"]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_bad_algorithm_rejected(self, points_file):
+        with pytest.raises(SystemExit):
+            main(["cluster", points_file, "--algorithm", "quantum"])
+
+
+class TestScaling:
+    def test_prints_sweep(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert main(["scaling", "r10k", "--cores", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "exec-speedup" in out
+        assert "baseline" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_importable(self):
+        import repro.cli
+
+        parser = repro.cli.build_parser()
+        args = parser.parse_args(["datasets"])
+        assert args.command == "datasets"
