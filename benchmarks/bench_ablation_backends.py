@@ -23,7 +23,7 @@ from repro.kdtree import KDTree
 from _harness import print_table, save_results
 
 PARTITIONS = 4
-MASTERS = ["simulated[4]", "local[4]", "threads[4]", "processes[4]"]
+MASTERS = ["simulated[4]", "local", "threads[4]", "processes[4]"]
 
 
 def test_ablation_backends(benchmark):
@@ -65,7 +65,7 @@ def test_ablation_backends(benchmark):
     by_master = {p["master"]: p for p in payload}
     # The simulated methodology's premise: per-task totals measured
     # serially match the serial local backend closely.
-    sim, loc = by_master["simulated[4]"], by_master["local[4]"]
+    sim, loc = by_master["simulated[4]"], by_master["local"]
     assert 0.5 < sim["executor_total"] / loc["executor_total"] < 2.0
 
     benchmark.pedantic(

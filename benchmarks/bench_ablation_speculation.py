@@ -25,7 +25,7 @@ def _run(speculation: bool) -> tuple[float, int]:
     g = make_dataset("r10k")
     tree = KDTree(g.points)
     part = IndexRangePartitioner(g.n, CORES)
-    with SparkContext(f"local[{CORES}]", speculation=speculation) as sc:
+    with SparkContext(f"simulated[{CORES}]", speculation=speculation) as sc:
         sc.fault_plan = FaultPlan(delays={(-1, 3): STRAGGLER_DELAY})
         tree_b = sc.broadcast(tree)
         eps, minpts = EPS, MINPTS

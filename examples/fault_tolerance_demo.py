@@ -25,7 +25,7 @@ def executor_crash_demo(points: np.ndarray) -> None:
     print("=" * 60)
     reference = dbscan_sequential(points, 25.0, 5)
 
-    with SparkContext("local[4]") as sc:
+    with SparkContext("simulated[4]") as sc:
         # Partitions 1 and 2 crash on their first two / one attempts.
         sc.fault_plan = FaultPlan(fail_attempts={(-1, 1): 2, (-1, 2): 1})
         result = SparkDBSCAN(25.0, 5, num_partitions=4).fit(points, sc=sc)
@@ -67,7 +67,7 @@ def datanode_crash_demo(points: np.ndarray, tmp: str) -> None:
 
     fs.kill_datanode(0)
     print("datanode 0 killed; reading through surviving replicas...")
-    with SparkContext("local[4]") as sc:
+    with SparkContext("simulated[4]") as sc:
         count = sc.from_source(fs.open("/points.txt")).count()
     print(f"records read after failure: {count} / {len(points)}")
     assert count == len(points)

@@ -34,7 +34,7 @@ def main() -> None:
     rng = np.random.default_rng(8)
     model = IncrementalDBSCAN(eps=1.5, minpts=4, d=2)
 
-    with SparkContext("local[4]") as sc:
+    with SparkContext("simulated[4]") as sc:
         ssc = StreamingContext(sc, num_partitions=4)
         stream = ssc.queue_stream(sensor_batches(rng, 9))
 

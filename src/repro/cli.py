@@ -14,6 +14,8 @@ import sys
 
 import numpy as np
 
+from repro.dbscan.partial import NEIGHBOR_MODES
+
 ALGORITHMS = ("spark", "sequential", "naive", "mapreduce", "spatial")
 
 
@@ -57,17 +59,20 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     if args.algorithm == "sequential":
         from repro.dbscan import dbscan_sequential
 
-        result = dbscan_sequential(points, args.eps, args.minpts)
+        result = dbscan_sequential(points, args.eps, args.minpts,
+                                   neighbor_mode=args.neighbor_mode)
     elif args.algorithm == "spark":
         from repro.dbscan import SparkDBSCAN
 
         result = SparkDBSCAN(args.eps, args.minpts,
-                             num_partitions=args.partitions).fit(points)
+                             num_partitions=args.partitions,
+                             neighbor_mode=args.neighbor_mode).fit(points)
     elif args.algorithm == "spatial":
         from repro.dbscan import SpatialSparkDBSCAN
 
         result = SpatialSparkDBSCAN(args.eps, args.minpts,
-                                    num_partitions=args.partitions).fit(points)
+                                    num_partitions=args.partitions,
+                                    neighbor_mode=args.neighbor_mode).fit(points)
     elif args.algorithm == "naive":
         from repro.dbscan import NaiveSparkDBSCAN
 
@@ -101,7 +106,8 @@ def cmd_scaling(args: argparse.Namespace) -> int:
 
     def run(p: int):
         """Execute the given tasks, yielding outcomes as they complete."""
-        res = SparkDBSCAN(args.eps, args.minpts, num_partitions=p).fit(
+        res = SparkDBSCAN(args.eps, args.minpts, num_partitions=p,
+                          neighbor_mode=args.neighbor_mode).fit(
             points, tree=tree
         )
         return res.timings.executor_max, res.timings.driver_time, \
@@ -140,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--minpts", type=int, default=5)
     c.add_argument("--partitions", type=int, default=4)
     c.add_argument("--algorithm", choices=ALGORITHMS, default="spark")
+    c.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES, default="per_point",
+                   help="executor neighbourhood kernel (batched = vectorised fast path; "
+                        "only spark/spatial/sequential honour it)")
     c.add_argument("--labels-out", default=None)
     c.set_defaults(func=cmd_cluster)
 
@@ -148,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--eps", type=float, default=25.0)
     s.add_argument("--minpts", type=int, default=5)
     s.add_argument("--cores", type=int, nargs="+", default=[2, 4, 8])
+    s.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES, default="per_point")
     s.set_defaults(func=cmd_scaling)
 
     h = sub.add_parser("history", help="summarise an engine event log")

@@ -12,7 +12,7 @@ from .merge import (
 )
 from .params import k_distances, suggest_eps
 from .predict import DBSCANPredictor
-from .partial import SEED_POLICIES, PartialCluster, local_dbscan
+from .partial import NEIGHBOR_MODES, SEED_POLICIES, PartialCluster, local_dbscan
 from .incremental import GridIndex, IncrementalDBSCAN
 from .mapreduce_job import MapReduceDBSCAN, MRDBSCANResult
 from .naive_spark import NaiveSparkDBSCAN, NaiveSparkResult
@@ -49,6 +49,7 @@ __all__ = [
     "PartialCluster",
     "local_dbscan",
     "SEED_POLICIES",
+    "NEIGHBOR_MODES",
     "MERGE_STRATEGIES",
     "MergeOutcome",
     "UnionFind",

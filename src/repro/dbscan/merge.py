@@ -64,7 +64,10 @@ class MergeOutcome:
     labels: np.ndarray
     num_merges: int
     num_global_clusters: int
-    # paper-strategy diagnostics: indices of clusters left overlapping/split
+    # Paper-strategy diagnostic: distinct points that are core members of
+    # one global cluster while also being a seed of a *different* global
+    # cluster — unfollowed merge evidence the single pass left behind.
+    # Always 0 for union_find (those edges get merged).
     overlapping_points: int = 0
     groups: list[list[int]] = field(default_factory=list)  # partial idxs per global
 
@@ -187,10 +190,28 @@ def merge_paper(partials: list[PartialCluster], n: int) -> MergeOutcome:
             for s in partials[pi].seeds:
                 if s not in owner and labels[s] == NOISE:
                     labels[s] = gid_of[ci]
+    # The single-pass limitation, quantified: a core-seed edge between two
+    # partials that ended up in different global groups is a merge the
+    # pass failed to perform; count the distinct points witnessing one.
+    partial_gid: dict[int, int] = {}
+    for ci, group in zip(sorted(merged_into), groups):
+        for pi in group:
+            partial_gid[pi] = gid_of[ci]
+    overlapping: set[int] = set()
+    for pi, c in enumerate(partials):
+        for s in c.seeds:
+            oi = owner.get(s)
+            if (
+                oi is not None
+                and _links_clusters(partials, oi, s)
+                and partial_gid[oi] != partial_gid[pi]
+            ):
+                overlapping.add(s)
     return MergeOutcome(
         labels=labels,
         num_merges=merges,
         num_global_clusters=gid,
+        overlapping_points=len(overlapping),
         groups=groups,
     )
 

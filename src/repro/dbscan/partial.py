@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -31,6 +31,15 @@ from ..engine.partitioner import IndexRangePartitioner
 from ..kdtree import KDTree
 
 SEED_POLICIES = ("all", "one_per_partition")
+
+#: How the executor obtains eps-neighbourhoods (DESIGN.md §6):
+#:
+#: - ``"per_point"``: one kd-tree walk per BFS pop (the paper's loop).
+#: - ``"batched"``: phase A answers every owned point's neighbourhood in
+#:   one vectorised kernel call (`KDTree.query_radius_batch`) and stores
+#:   them in CSR arrays; phase B runs the identical BFS/SEED expansion
+#:   over the precomputed rows with no per-pop tree queries.
+NEIGHBOR_MODES = ("per_point", "batched")
 
 
 @dataclass
@@ -100,7 +109,12 @@ class PartialCluster:
         return len(self.members) + len(self.seeds)
 
     def owns(self, index: int) -> bool:
-        """True iff ``index`` is a *regular* element (in range, a member)."""
+        """True iff ``index`` falls inside this partition's range.
+
+        A range check only — it does NOT test membership; an owned index
+        may belong to a sibling partial cluster or be noise.  Use
+        ``index in cluster.members`` for membership.
+        """
         return self.lo <= index < self.hi
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -122,6 +136,7 @@ def local_dbscan(
     seed_policy: str = "all",
     max_neighbors: int | None = None,
     counters: OpCounters | None = None,
+    neighbor_mode: str = "per_point",
 ) -> list[PartialCluster]:
     """Build the partial clusters of one partition (Algorithm 2 lines 4–29).
 
@@ -132,22 +147,76 @@ def local_dbscan(
 
     Pass an `OpCounters` to collect the Section III-B operation counts
     (range queries, queue adds/removes, hashtable puts/lookups).
+
+    ``neighbor_mode="batched"`` precomputes every owned point's
+    eps-neighbourhood with one `KDTree.query_radius_batch` call (phase A)
+    and expands over the stored CSR rows (phase B).  The partial
+    clusters — members, member order, borders, seeds — are identical to
+    the per-point mode; ``range_queries`` counts the whole owned range
+    (which per-point mode also queries exactly once per point).
     """
     if seed_policy not in SEED_POLICIES:
         raise ValueError(f"seed_policy must be one of {SEED_POLICIES}, got {seed_policy!r}")
-    if counters is not None:
-        return _local_dbscan_counted(
-            partition_id, own_indices, points, tree, eps, minpts, partitioner,
-            seed_policy, max_neighbors, counters,
+    if neighbor_mode not in NEIGHBOR_MODES:
+        raise ValueError(
+            f"neighbor_mode must be one of {NEIGHBOR_MODES}, got {neighbor_mode!r}"
         )
     lo, hi = partitioner.range_of(partition_id)
+    if neighbor_mode == "batched":
+        # Phase A: one shared-descent kernel call over the owned range.
+        indptr, indices = tree.query_radius_batch(points[lo:hi], eps, max_neighbors)
+        if counters is None:
+            # Phase B fast path: row-at-a-time vectorised expansion.
+            return _expand_batched(
+                partition_id, own_indices, indptr, indices,
+                points.shape[0], lo, hi, minpts, partitioner, seed_policy,
+            )
+        # Instrumented runs replay the per-element loop over the stored
+        # rows so every Section III-B count is observed exactly.
+        counters.range_queries += hi - lo
 
+        def neigh_of(j: int) -> np.ndarray:
+            k = j - lo
+            return indices[indptr[k]:indptr[k + 1]]
+    elif counters is not None:
+        query = tree.query_radius
+
+        def neigh_of(j: int) -> np.ndarray:
+            counters.range_queries += 1
+            return query(points[j], eps, max_neighbors)
+    else:
+        query = tree.query_radius
+
+        def neigh_of(j: int) -> np.ndarray:
+            return query(points[j], eps, max_neighbors)
+
+    if counters is not None:
+        return _expand_counted(
+            partition_id, own_indices, neigh_of, lo, hi, minpts,
+            partitioner, seed_policy, counters,
+        )
+    return _expand(
+        partition_id, own_indices, neigh_of, lo, hi, minpts,
+        partitioner, seed_policy,
+    )
+
+
+def _expand(
+    partition_id: int,
+    own_indices: Iterable[int],
+    neigh_of: Callable[[int], np.ndarray],
+    lo: int,
+    hi: int,
+    minpts: int,
+    partitioner: IndexRangePartitioner,
+    seed_policy: str,
+) -> list[PartialCluster]:
+    """The BFS/SEED expansion (phase B), shared by both neighbour modes."""
     # The paper's Hashtable: point index -> visited/assigned state.
     visited: dict[int, bool] = {}
     assignment: dict[int, int] = {}
     core_flag: dict[int, bool] = {}
     partials: list[PartialCluster] = []
-    query = tree.query_radius
 
     for i in own_indices:
         i = int(i)
@@ -159,7 +228,7 @@ def local_dbscan(
         if i in visited:  # Algorithm 2 line 5: already in hashtable
             continue
         visited[i] = True
-        neigh = query(points[i], eps, max_neighbors)
+        neigh = neigh_of(i)
         if len(neigh) < minpts:
             core_flag[i] = False
             continue  # noise unless claimed later as a border point
@@ -178,7 +247,7 @@ def local_dbscan(
                 # Own point: classic expansion (Algorithm 2 lines 13–22).
                 if p not in visited:
                     visited[p] = True
-                    neigh2 = query(points[p], eps, max_neighbors)
+                    neigh2 = neigh_of(p)
                     if len(neigh2) >= minpts:
                         core_flag[p] = True
                         queue.extend(int(x) for x in neigh2)
@@ -205,29 +274,117 @@ def local_dbscan(
     return partials
 
 
-def _local_dbscan_counted(
+def _expand_batched(
     partition_id: int,
     own_indices: Iterable[int],
-    points: np.ndarray,
-    tree: KDTree,
-    eps: float,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n_total: int,
+    lo: int,
+    hi: int,
     minpts: int,
     partitioner: IndexRangePartitioner,
     seed_policy: str,
-    max_neighbors: int | None,
+) -> list[PartialCluster]:
+    """Phase B over precomputed CSR rows, vectorised row-at-a-time.
+
+    Exactly equivalent to `_expand`: the flat FIFO queue pops a point's
+    whole neighbour row contiguously (expansions append at the back),
+    and rows never repeat an index, so processing one row's elements
+    against the row-start state with numpy masks visits, assigns, and
+    enqueues in the same order as the per-element loop.  The per-point
+    BFS therefore reduces to a queue of *row ids* — one numpy pass per
+    row instead of one Python iteration per neighbour.
+    """
+    counts = np.diff(indptr)
+    core = counts >= minpts            # every owned point, known up front
+    visited = np.zeros(hi - lo, dtype=bool)
+    assigned = np.zeros(hi - lo, dtype=bool)
+    partials: list[PartialCluster] = []
+    # Per-cluster foreign-seed dedup, reset via the seed list itself.
+    seen_seed = np.zeros(n_total, dtype=bool)
+    p_minus_1 = partitioner.num_partitions - 1
+
+    for i in own_indices:
+        i = int(i)
+        if not lo <= i < hi:
+            raise ValueError(
+                f"index {i} handed to partition {partition_id} whose range is "
+                f"[{lo}, {hi}) — partitioning is inconsistent"
+            )
+        k = i - lo
+        if visited[k]:
+            continue
+        visited[k] = True
+        if not core[k]:
+            continue  # noise unless claimed later as a border point
+        cluster = PartialCluster(
+            partition=partition_id, local_id=len(partials), lo=lo, hi=hi, members=[i]
+        )
+        assigned[k] = True
+        seeds_by_partition: dict[int, int] = {}
+        rows: deque[int] = deque([k])
+        while rows:
+            r = rows.popleft()
+            row = indices[indptr[r]:indptr[r + 1]]
+            own_mask = (row >= lo) & (row < hi)
+            own = row[own_mask] - lo
+            newly = own[~visited[own]]
+            visited[newly] = True
+            rows.extend(newly[core[newly]].tolist())
+            join = own[~assigned[own]]
+            assigned[join] = True
+            cluster.members.extend((join + lo).tolist())
+            cluster.borders.update((join[~core[join]] + lo).tolist())
+            foreign = row[~own_mask]
+            if foreign.size == 0:
+                continue
+            if seed_policy == "all":
+                # Row elements are distinct, so only cross-row dedup needed.
+                new = foreign[~seen_seed[foreign]]
+                seen_seed[new] = True
+                cluster.seeds.extend(new.tolist())
+            elif len(seeds_by_partition) < p_minus_1:
+                # one_per_partition: caps fill fast; loop only until then.
+                for s in foreign.tolist():
+                    if seen_seed[s]:
+                        continue
+                    par = partitioner.partition(s)
+                    if par in seeds_by_partition:
+                        continue
+                    seeds_by_partition[par] = s
+                    seen_seed[s] = True
+                    cluster.seeds.append(s)
+                    if len(seeds_by_partition) == p_minus_1:
+                        break
+        if cluster.seeds:
+            seen_seed[np.asarray(cluster.seeds)] = False
+        partials.append(cluster)
+    return partials
+
+
+def _expand_counted(
+    partition_id: int,
+    own_indices: Iterable[int],
+    neigh_of: Callable[[int], np.ndarray],
+    lo: int,
+    hi: int,
+    minpts: int,
+    partitioner: IndexRangePartitioner,
+    seed_policy: str,
     c: OpCounters,
 ) -> list[PartialCluster]:
-    """Instrumented twin of the `local_dbscan` hot loop.
+    """Instrumented twin of the `_expand` hot loop.
 
     Kept separate so the common path pays nothing for the counters;
     tests assert both paths produce identical partial clusters.
+    ``range_queries`` is counted by the caller (inside ``neigh_of`` for
+    per-point mode, as one batch for batched mode).
     """
-    lo, hi = partitioner.range_of(partition_id)
     visited: dict[int, bool] = {}
     assignment: dict[int, int] = {}
     core_flag: dict[int, bool] = {}
     partials: list[PartialCluster] = []
-    query = tree.query_radius
 
     for i in own_indices:
         i = int(i)
@@ -241,8 +398,7 @@ def _local_dbscan_counted(
             continue
         visited[i] = True
         c.hashtable_puts += 1
-        c.range_queries += 1
-        neigh = query(points[i], eps, max_neighbors)
+        neigh = neigh_of(i)
         if len(neigh) < minpts:
             core_flag[i] = False
             continue
@@ -264,8 +420,7 @@ def _local_dbscan_counted(
                 if p not in visited:
                     visited[p] = True
                     c.hashtable_puts += 1
-                    c.range_queries += 1
-                    neigh2 = query(points[p], eps, max_neighbors)
+                    neigh2 = neigh_of(p)
                     if len(neigh2) >= minpts:
                         core_flag[p] = True
                         queue.extend(int(x) for x in neigh2)

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..kdtree import KDTree
 from .core import NOISE, UNCLASSIFIED, ClusteringResult, Timings
+from .partial import NEIGHBOR_MODES
 
 
 def dbscan_sequential(
@@ -31,12 +32,17 @@ def dbscan_sequential(
     impl: str = "array",
     leaf_size: int = 64,
     max_neighbors: int | None = None,
+    neighbor_mode: str = "per_point",
 ) -> ClusteringResult:
     """Cluster ``points`` with classic DBSCAN (Algorithm 1).
 
     Parameters mirror the paper: ``eps`` neighbourhood radius, ``minpts``
     core-point threshold.  A prebuilt `KDTree` may be passed to skip
     construction (used when timing query cost separately).
+
+    ``neighbor_mode="batched"`` precomputes all n neighbourhoods with one
+    `KDTree.query_radius_batch` call before expanding; labels are
+    identical to the per-point mode.
     """
     points = np.ascontiguousarray(points, dtype=np.float64)
     if points.ndim != 2:
@@ -45,6 +51,10 @@ def dbscan_sequential(
         raise ValueError(f"minpts must be >= 1, got {minpts}")
     if impl not in ("array", "hashtable"):
         raise ValueError(f"impl must be 'array' or 'hashtable', got {impl!r}")
+    if neighbor_mode not in NEIGHBOR_MODES:
+        raise ValueError(
+            f"neighbor_mode must be one of {NEIGHBOR_MODES}, got {neighbor_mode!r}"
+        )
 
     timings = Timings()
     t_start = time.perf_counter()
@@ -53,10 +63,21 @@ def dbscan_sequential(
         tree = KDTree(points, leaf_size=leaf_size)
         timings.kdtree_build = time.perf_counter() - t0
 
-    if impl == "array":
-        labels = _dbscan_array(points, eps, minpts, tree, max_neighbors)
+    if neighbor_mode == "batched":
+        indptr, indices = tree.query_radius_batch(points, eps, max_neighbors)
+
+        def neigh_of(j: int) -> np.ndarray:
+            return indices[indptr[j]:indptr[j + 1]]
     else:
-        labels = _dbscan_hashtable(points, eps, minpts, tree, max_neighbors)
+        query = tree.query_radius
+
+        def neigh_of(j: int) -> np.ndarray:
+            return query(points[j], eps, max_neighbors)
+
+    if impl == "array":
+        labels = _dbscan_array(points.shape[0], minpts, neigh_of)
+    else:
+        labels = _dbscan_hashtable(points.shape[0], minpts, neigh_of)
 
     timings.wall = time.perf_counter() - t_start
     timings.executor_total = timings.wall - timings.kdtree_build
@@ -65,23 +86,15 @@ def dbscan_sequential(
     return ClusteringResult(labels=labels, timings=timings)
 
 
-def _dbscan_array(
-    points: np.ndarray,
-    eps: float,
-    minpts: int,
-    tree: KDTree,
-    max_neighbors: int | None,
-) -> np.ndarray:
-    n = points.shape[0]
+def _dbscan_array(n: int, minpts: int, neigh_of) -> np.ndarray:
     visited = np.zeros(n, dtype=bool)
     labels = np.full(n, UNCLASSIFIED, dtype=np.int64)
-    query = tree.query_radius
     next_cluster = 0
     for i in range(n):
         if visited[i]:
             continue
         visited[i] = True
-        neigh = query(points[i], eps, max_neighbors)
+        neigh = neigh_of(i)
         if neigh.size < minpts:
             labels[i] = NOISE
             continue
@@ -93,7 +106,7 @@ def _dbscan_array(
             j = queue.popleft()
             if not visited[j]:
                 visited[j] = True
-                neigh2 = query(points[j], eps, max_neighbors)
+                neigh2 = neigh_of(j)
                 if neigh2.size >= minpts:
                     queue.extend(neigh2.tolist())
             if labels[j] < 0:  # UNCLASSIFIED or previously marked NOISE
@@ -102,13 +115,7 @@ def _dbscan_array(
     return labels
 
 
-def _dbscan_hashtable(
-    points: np.ndarray,
-    eps: float,
-    minpts: int,
-    tree: KDTree,
-    max_neighbors: int | None,
-) -> np.ndarray:
+def _dbscan_hashtable(n: int, minpts: int, neigh_of) -> np.ndarray:
     """Literal port of the paper's Java data-structure choices.
 
     Visited state and cluster membership live in hash tables
@@ -116,17 +123,15 @@ def _dbscan_hashtable(
     (``deque``), matching Section III-B's O(1) put/containsKey and O(1)
     add/remove analysis.
     """
-    n = points.shape[0]
     visited: dict[int, bool] = {}
     assignment: dict[int, int] = {}
     noise: dict[int, bool] = {}
-    query = tree.query_radius
     next_cluster = 0
     for i in range(n):
         if i in visited:
             continue
         visited[i] = True
-        neigh = query(points[i], eps, max_neighbors)
+        neigh = neigh_of(i)
         if len(neigh) < minpts:
             noise[i] = True
             continue
@@ -138,7 +143,7 @@ def _dbscan_hashtable(
             j = queue.popleft()
             if j not in visited:
                 visited[j] = True
-                neigh2 = query(points[j], eps, max_neighbors)
+                neigh2 = neigh_of(j)
                 if len(neigh2) >= minpts:
                     queue.extend(int(x) for x in neigh2)
             if j not in assignment:
@@ -156,8 +161,4 @@ def core_point_mask(
     points = np.ascontiguousarray(points, dtype=np.float64)
     if tree is None:
         tree = KDTree(points)
-    n = points.shape[0]
-    mask = np.zeros(n, dtype=bool)
-    for i in range(n):
-        mask[i] = tree.query_radius(points[i], eps).size >= minpts
-    return mask
+    return tree.count_radius_batch(points, eps) >= minpts

@@ -25,14 +25,20 @@ from ..engine.partitioner import IndexRangePartitioner
 from ..kdtree import KDTree
 from .core import ClusteringResult, Timings
 from .merge import MERGE_STRATEGIES, merge_partials
-from .partial import SEED_POLICIES, PartialCluster, local_dbscan
+from .partial import NEIGHBOR_MODES, SEED_POLICIES, PartialCluster, local_dbscan
 
 
 @dataclass
 class SparkDBSCANResult(ClusteringResult):
-    """ClusteringResult plus the collected partial clusters (optional)."""
+    """ClusteringResult plus the collected partial clusters (optional).
+
+    ``perm`` is set by `SpatialSparkDBSCAN`: the spatial reordering that
+    was applied before partitioning (``perm[k]`` is the original index of
+    reordered point ``k``).  ``None`` when no reordering happened.
+    """
 
     partials: list[PartialCluster] | None = None
+    perm: np.ndarray | None = None
 
 
 class SparkDBSCAN:
@@ -55,6 +61,11 @@ class SparkDBSCAN:
         ``"union_find"`` (default) or ``"paper"`` (Algorithm 4 literal).
     max_neighbors:
         Optional kd-tree pruning cap (the paper's r1m branch-pruning).
+    neighbor_mode:
+        ``"per_point"`` (one kd-tree walk per BFS pop, the paper's loop)
+        or ``"batched"`` (executors precompute all owned neighbourhoods
+        with one vectorised kernel call, then expand over CSR rows).
+        Results are identical; batched is the fast path (DESIGN.md §6).
     min_cluster_size:
         Drop partial clusters smaller than this before merging (the
         paper's r1m small-cluster filter).
@@ -76,6 +87,7 @@ class SparkDBSCAN:
         min_cluster_size: int = 0,
         leaf_size: int = 64,
         keep_partials: bool = False,
+        neighbor_mode: str = "per_point",
     ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -87,6 +99,8 @@ class SparkDBSCAN:
             raise ValueError(f"unknown seed_policy {seed_policy!r}")
         if merge_strategy not in MERGE_STRATEGIES:
             raise ValueError(f"unknown merge_strategy {merge_strategy!r}")
+        if neighbor_mode not in NEIGHBOR_MODES:
+            raise ValueError(f"unknown neighbor_mode {neighbor_mode!r}")
         self.eps = eps
         self.minpts = minpts
         self.num_partitions = num_partitions
@@ -97,6 +111,7 @@ class SparkDBSCAN:
         self.min_cluster_size = min_cluster_size
         self.leaf_size = leaf_size
         self.keep_partials = keep_partials
+        self.neighbor_mode = neighbor_mode
 
     def fit(
         self,
@@ -159,6 +174,7 @@ class SparkDBSCAN:
         partitioner = IndexRangePartitioner(n, self.num_partitions)
         eps, minpts = self.eps, self.minpts
         seed_policy, max_neighbors = self.seed_policy, self.max_neighbors
+        neighbor_mode = self.neighbor_mode
 
         t0 = time.perf_counter()
         tree_b = sc.broadcast(tree)
@@ -171,6 +187,7 @@ class SparkDBSCAN:
             result = local_dbscan(
                 pid, it, t.points, t, eps, minpts, partitioner,
                 seed_policy=seed_policy, max_neighbors=max_neighbors,
+                neighbor_mode=neighbor_mode,
             )
             # Algorithm 2 lines 26–28: ship partial clusters to the driver
             # through the accumulator as the task finishes.

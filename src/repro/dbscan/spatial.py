@@ -42,7 +42,12 @@ class SpatialSparkDBSCAN(SparkDBSCAN):
 
     Points are spatially reordered before index-range partitioning;
     labels are mapped back to the caller's original point order, so the
-    API is a drop-in replacement.
+    API is a drop-in replacement.  With ``keep_partials=True`` the
+    partial clusters' ``members``/``seeds``/``borders`` are likewise
+    remapped to caller order (so they align with ``labels``); the
+    ``lo``/``hi`` partition ranges necessarily stay in the *reordered*
+    index space (a spatial cell is not an index range in caller order) —
+    ``result.perm`` carries the reordering for anyone who needs them.
     """
 
     def fit(self, points, sc=None, tree=None) -> SparkDBSCANResult:
@@ -57,6 +62,12 @@ class SpatialSparkDBSCAN(SparkDBSCAN):
         labels = np.empty_like(result.labels)
         labels[perm] = result.labels
         result.labels = labels
+        if result.partials is not None:
+            for c in result.partials:
+                c.members = [int(perm[m]) for m in c.members]
+                c.seeds = [int(perm[s]) for s in c.seeds]
+                c.borders = {int(perm[b]) for b in c.borders}
+        result.perm = perm
         result.timings.setup += reorder_time
         result.timings.wall += reorder_time
         return result

@@ -3,6 +3,9 @@
 Four backends, selected by the master URL:
 
 - ``local`` / ``local[1]``      — serial in the driver thread; deterministic.
+  ``local[n]`` for n > 1 is rejected: this backend cannot deliver the
+  requested parallelism (use ``threads[n]``/``processes[n]`` for real
+  concurrency, or ``simulated[n]`` for measured-makespan analysis).
 - ``threads[n]``                — a thread pool; real concurrency for
   I/O-bound tasks (numpy releases the GIL in hot kernels).
 - ``processes[n]``              — a process pool with cloudpickle task
@@ -27,7 +30,12 @@ _MASTER_RE = re.compile(r"^(local|threads|processes|simulated)(?:\[(\d+|\*)\])?$
 
 
 def parse_master(master: str) -> tuple[str, int]:
-    """Parse a master URL like ``threads[4]`` into (mode, slots)."""
+    """Parse a master URL like ``threads[4]`` into (mode, slots).
+
+    ``local`` is strictly serial, so it always yields one slot;
+    ``local[n]`` with n > 1 (or ``local[*]``) is rejected rather than
+    silently dropping the requested parallelism.
+    """
     m = _MASTER_RE.match(master)
     if not m:
         raise ValueError(
@@ -35,6 +43,16 @@ def parse_master(master: str) -> tuple[str, int]:
             "processes[n] | simulated[n]"
         )
     mode, slots = m.group(1), m.group(2)
+    if mode == "local":
+        if slots is None or slots == "1":
+            return "local", 1
+        if slots != "*" and int(slots) <= 0:
+            raise ValueError(f"slot count must be positive in master {master!r}")
+        raise ValueError(
+            f"master {master!r} requests parallel slots but the local "
+            "backend runs serially; use threads[n] or processes[n] for "
+            "real concurrency, or simulated[n] for makespan analysis"
+        )
     if slots == "*" or slots is None:
         import os
 

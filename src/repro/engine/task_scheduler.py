@@ -105,8 +105,17 @@ class TaskScheduler:
         respawn: list[Task] = []
         for o in outcomes:
             if not o.succeeded:
+                # Same retry budget as the main loop: requeueing here
+                # without the check would grant failed tasks one extra
+                # attempt whenever speculation is on.
+                next_attempt = o.attempt + 1
+                if next_attempt >= self.max_task_failures:
+                    raise JobAbortedError(
+                        f"task for partition {o.partition} failed "
+                        f"{next_attempt} times; last error: {o.error}"
+                    )
                 failures.append(
-                    dataclasses.replace(by_partition[o.partition], attempt=o.attempt + 1)
+                    dataclasses.replace(by_partition[o.partition], attempt=next_attempt)
                 )
                 continue
             if (

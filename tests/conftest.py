@@ -35,7 +35,7 @@ def blobs_medium_tree(blobs_medium):
 @pytest.fixture
 def sc():
     """A 4-partition local context, cleaned up after each test."""
-    context = SparkContext("local[4]")
+    context = SparkContext("simulated[4]")
     yield context
     context.stop()
 

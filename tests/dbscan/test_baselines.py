@@ -43,7 +43,7 @@ class TestNaiveSparkDBSCAN:
         from repro.engine import SparkContext
 
         g, tree, _seq = data
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             SparkDBSCAN(25.0, 5, num_partitions=4).fit(g.points, sc=sc, tree=tree)
             nbytes = sum(
                 tm.shuffle_bytes_written

@@ -113,6 +113,57 @@ class TestMergeChains:
             assert out.num_global_clusters == 1, f"order {[x.cid for x in order]}"
 
 
+class TestOverlappingPointsDiagnostic:
+    """`MergeOutcome.overlapping_points` counts the merge evidence the
+    single pass left unfollowed — a core member of one global cluster
+    that is simultaneously a seed of a different one."""
+
+    def _chain(self):
+        a = pc(0, 0, 0, 10, [0, 1, 2], seeds=[10])
+        b = pc(1, 0, 10, 20, [10, 11], seeds=[20])
+        c = pc(2, 0, 20, 30, [20, 21, 22])
+        return [a, b, c]
+
+    def test_split_chain_is_counted(self):
+        """b's seed 20 is a core member of c, but {a,b} and {c} end up as
+        different global clusters — exactly one overlapping point."""
+        out = merge_paper(self._chain(), 30)
+        assert out.num_global_clusters == 2
+        assert out.overlapping_points == 1
+
+    def test_union_find_reports_zero(self):
+        """Union-find merges every such edge, so the diagnostic is 0."""
+        out = merge_union_find(self._chain(), 30)
+        assert out.overlapping_points == 0
+
+    def test_fully_merged_paper_pass_reports_zero(self):
+        a = pc(0, 0, 0, 10, [0, 1], seeds=[10])
+        b = pc(1, 0, 10, 20, [10, 11], seeds=[0])
+        out = merge_paper([a, b], 20)
+        assert out.num_global_clusters == 1
+        assert out.overlapping_points == 0
+
+    def test_border_seed_does_not_count(self):
+        """A seed that is only a *border* member elsewhere is legal DBSCAN
+        sharing, not a missed merge."""
+        a = pc(0, 0, 0, 10, [0, 1, 2], seeds=[10])
+        b = pc(1, 0, 10, 20, [10, 11])
+        b.borders.add(10)  # 10 is a non-core member of b
+        out = merge_paper([a, b], 20)
+        assert out.num_global_clusters == 2
+        assert out.overlapping_points == 0
+
+    def test_distinct_points_counted_once(self):
+        """A repeated seed entry for the same point counts once; two
+        distinct unfollowed core seeds count twice."""
+        a = pc(0, 0, 0, 10, [0, 1, 2], seeds=[10])
+        b = pc(1, 0, 10, 20, [10, 11], seeds=[20, 20])
+        c = pc(2, 0, 20, 30, [20, 21, 22])
+        assert merge_paper([a, b, c], 30).overlapping_points == 1
+        b2 = pc(1, 0, 10, 20, [10, 11], seeds=[20, 21])
+        assert merge_paper([a, b2, c], 30).overlapping_points == 2
+
+
 class TestBorderSeeds:
     def test_unowned_seed_becomes_border_member(self):
         # Seed 15 is nobody's regular member (non-core in its home

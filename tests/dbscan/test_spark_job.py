@@ -151,7 +151,7 @@ class TestExecutionModes:
         assert ok, why
 
     def test_external_context_reused(self, blobs_medium_module, blobs_medium_tree_module):
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             model = SparkDBSCAN(25.0, 5, num_partitions=4)
             a = model.fit(blobs_medium_module.points, sc=sc,
                           tree=blobs_medium_tree_module)

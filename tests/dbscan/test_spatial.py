@@ -73,3 +73,45 @@ class TestSpatialSparkDBSCAN:
         g, _ = data
         res = SpatialSparkDBSCAN(25.0, 5, num_partitions=4).fit(g.points)
         assert res.timings.setup > 0
+
+
+class TestPartialsRemap:
+    """Regression: with ``keep_partials=True`` the partials used to come
+    back in the *permuted* index space while ``labels`` are caller-order,
+    so indexing labels with a member pointed at an unrelated point."""
+
+    def test_members_carry_their_global_label(self, data):
+        g, _ = data
+        res = SpatialSparkDBSCAN(25.0, 5, num_partitions=4,
+                                 keep_partials=True).fit(g.points)
+        assert res.partials
+        for c in res.partials:
+            # Every member of a surviving partial maps onto exactly the
+            # cluster its points were labelled with, in caller order.
+            member_labels = {int(res.labels[m]) for m in c.members}
+            assert len(member_labels) == 1, (
+                f"partial {c.cid} members span labels {member_labels}")
+            assert member_labels.pop() >= 0
+
+    def test_perm_attached_and_consistent(self, data):
+        g, _ = data
+        res = SpatialSparkDBSCAN(25.0, 5, num_partitions=4,
+                                 keep_partials=True).fit(g.points)
+        assert res.perm is not None
+        assert sorted(res.perm.tolist()) == list(range(g.n))
+        # lo/hi stay in reordered space: perm[lo:hi] are the actual
+        # caller-order indices a partition owned, and every member of a
+        # partial must come from its own partition's range.
+        for c in res.partials:
+            owned = set(res.perm[c.lo:c.hi].tolist())
+            assert set(c.members) <= owned
+
+    def test_plain_spark_partials_unaffected(self, data):
+        """The non-spatial job has no permutation: members index labels
+        directly and ``perm`` stays None."""
+        g, tree = data
+        res = SparkDBSCAN(25.0, 5, num_partitions=4,
+                          keep_partials=True).fit(g.points, tree=tree)
+        assert res.perm is None
+        for c in res.partials:
+            assert all(c.lo <= m < c.hi for m in c.members)

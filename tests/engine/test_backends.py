@@ -7,7 +7,7 @@ import pytest
 from repro.engine import SparkContext
 from repro.engine.backends import parse_master
 
-MASTERS = ["local", "local[3]", "threads[3]", "processes[2]", "simulated[8]"]
+MASTERS = ["local", "local[1]", "threads[3]", "processes[2]", "simulated[8]"]
 
 
 @pytest.mark.parametrize("master", MASTERS)
@@ -46,11 +46,18 @@ class TestBackendEquivalence:
 
 class TestParseMaster:
     def test_modes(self):
-        assert parse_master("local") == ("local", __import__("os").cpu_count() or 1)
-        assert parse_master("local[4]") == ("local", 4)
+        assert parse_master("local") == ("local", 1)
+        assert parse_master("local[1]") == ("local", 1)
         assert parse_master("threads[2]") == ("threads", 2)
         assert parse_master("processes[8]") == ("processes", 8)
         assert parse_master("simulated[512]") == ("simulated", 512)
+
+    @pytest.mark.parametrize("serial_lie", ["local[2]", "local[8]", "local[*]"])
+    def test_rejects_parallel_local(self, serial_lie):
+        """local[n>1] would silently run serially; the error must point at
+        backends that actually deliver the requested slots."""
+        with pytest.raises(ValueError, match="threads\\[n\\]"):
+            parse_master(serial_lie)
 
     def test_star_uses_cpu_count(self):
         import os

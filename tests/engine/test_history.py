@@ -6,7 +6,7 @@ from repro.engine.history import format_history, load_history, summarize_events
 
 class TestSummarize:
     def _run_app(self, path):
-        with SparkContext("local[2]", event_log_path=path) as sc:
+        with SparkContext("simulated[2]", event_log_path=path) as sc:
             sc.parallelize(range(8), 2).sum()
             sc.parallelize([(i % 2, i) for i in range(8)], 2).reduce_by_key(
                 lambda a, b: a + b
@@ -23,7 +23,7 @@ class TestSummarize:
 
     def test_failures_counted(self, tmp_path):
         path = str(tmp_path / "log.jsonl")
-        with SparkContext("local[2]", event_log_path=path) as sc:
+        with SparkContext("simulated[2]", event_log_path=path) as sc:
             sc.fault_plan = FaultPlan(fail_attempts={(-1, 0): 2})
             sc.parallelize(range(4), 2).collect()
         app = load_history(path)
@@ -58,7 +58,7 @@ class TestCliHistory:
         from repro.cli import main
 
         path = str(tmp_path / "log.jsonl")
-        with SparkContext("local[2]", event_log_path=path) as sc:
+        with SparkContext("simulated[2]", event_log_path=path) as sc:
             sc.parallelize(range(4), 2).count()
         assert main(["history", path]) == 0
         out = capsys.readouterr().out

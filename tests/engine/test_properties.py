@@ -13,21 +13,21 @@ npart = st.integers(1, 8)
 @settings(max_examples=30, deadline=None)
 @given(data=small_ints, p=npart)
 def test_collect_is_identity(data, p):
-    with SparkContext("local[2]") as sc:
+    with SparkContext("simulated[2]") as sc:
         assert sc.parallelize(data, p).collect() == data
 
 
 @settings(max_examples=30, deadline=None)
 @given(data=small_ints, p=npart)
 def test_map_matches_builtin(data, p):
-    with SparkContext("local[2]") as sc:
+    with SparkContext("simulated[2]") as sc:
         got = sc.parallelize(data, p).map(lambda x: x * 2 + 1).collect()
     assert got == [x * 2 + 1 for x in data]
 
 @settings(max_examples=30, deadline=None)
 @given(data=small_ints, p=npart)
 def test_filter_then_count(data, p):
-    with SparkContext("local[2]") as sc:
+    with SparkContext("simulated[2]") as sc:
         got = sc.parallelize(data, p).filter(lambda x: x > 0).count()
     assert got == sum(1 for x in data if x > 0)
 
@@ -38,7 +38,7 @@ def test_reduce_by_key_matches_dict_fold(data, p):
     expected: dict[int, int] = {}
     for k, v in data:
         expected[k] = expected.get(k, 0) + v
-    with SparkContext("local[2]") as sc:
+    with SparkContext("simulated[2]") as sc:
         got = dict(sc.parallelize(data, p).reduce_by_key(lambda a, b: a + b).collect())
     assert got == expected
 
@@ -46,7 +46,7 @@ def test_reduce_by_key_matches_dict_fold(data, p):
 @settings(max_examples=25, deadline=None)
 @given(data=small_ints, p=npart)
 def test_distinct_matches_set(data, p):
-    with SparkContext("local[2]") as sc:
+    with SparkContext("simulated[2]") as sc:
         got = sorted(sc.parallelize(data, p).distinct().collect())
     assert got == sorted(set(data))
 
@@ -88,7 +88,7 @@ def test_index_range_partitioner_partition_of_every_index(n, p):
     p2=st.integers(1, 6),
 )
 def test_partition_count_does_not_change_results(data, p1, p2):
-    with SparkContext("local[2]") as sc:
+    with SparkContext("simulated[2]") as sc:
         a = sorted(sc.parallelize(data, p1).map(lambda x: x % 7).collect())
         b = sorted(sc.parallelize(data, p2).map(lambda x: x % 7).collect())
     assert a == b

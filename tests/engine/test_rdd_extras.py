@@ -152,7 +152,7 @@ class TestEventLog:
         from repro.engine.event_log import load_event_log
 
         path = str(tmp_path / "events.jsonl")
-        with SparkContext("local[2]", event_log_path=path) as sc:
+        with SparkContext("simulated[2]", event_log_path=path) as sc:
             sc.parallelize(range(4), 2).count()
         events = load_event_log(path)
         kinds = [e["event"] for e in events]

@@ -214,7 +214,7 @@ class TestLaziness:
 
 class TestContextLifecycle:
     def test_stopped_context_rejects_work(self):
-        sc = SparkContext("local[2]")
+        sc = SparkContext("simulated[2]")
         sc.stop()
         from repro.engine import ContextStoppedError
 
@@ -222,16 +222,16 @@ class TestContextLifecycle:
             sc.parallelize([1, 2])
 
     def test_double_stop_is_idempotent(self):
-        sc = SparkContext("local[2]")
+        sc = SparkContext("simulated[2]")
         sc.stop()
         sc.stop()
 
     def test_context_manager(self):
-        with SparkContext("local[2]") as sc:
+        with SparkContext("simulated[2]") as sc:
             assert sc.parallelize([1, 2, 3]).count() == 3
 
     def test_default_parallelism_from_master(self):
-        with SparkContext("local[7]") as sc:
+        with SparkContext("simulated[7]") as sc:
             assert sc.parallelize(range(14)).num_partitions == 7
 
     def test_parallelize_rejects_zero_partitions(self, sc):

@@ -58,7 +58,7 @@ class TestRetries:
         assert sc.parallelize(range(8), 4).collect() == list(range(8))
 
     def test_permanent_failure_aborts(self):
-        with SparkContext("local[2]", max_task_failures=3) as sc:
+        with SparkContext("simulated[2]", max_task_failures=3) as sc:
             sc.fault_plan = FaultPlan(fail_attempts={(-1, 0): 100})
             with pytest.raises(JobAbortedError) as exc:
                 sc.parallelize(range(4), 2).collect()
@@ -118,6 +118,6 @@ class TestMetrics:
         assert one_slot >= 0.06
 
     def test_no_jobs_yet_raises(self):
-        with SparkContext("local[2]") as sc:
+        with SparkContext("simulated[2]") as sc:
             with pytest.raises(ValueError):
                 _ = sc.last_job_metrics

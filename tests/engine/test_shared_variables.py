@@ -28,7 +28,7 @@ class TestBroadcast:
 
     def test_value_loaded_once_per_process(self, tmp_path):
         """A rehydrated handle loads from file on first access only."""
-        with SparkContext("local[2]", spill_dir=str(tmp_path)) as sc:
+        with SparkContext("simulated[2]", spill_dir=str(tmp_path)) as sc:
             sc.broadcast_manager._spill_dir = str(tmp_path)  # force file backing
             b = sc.broadcast_manager.new_broadcast([1, 2, 3])
             clone = pickle.loads(pickle.dumps(b))
@@ -105,7 +105,7 @@ class TestAccumulatorExactlyOnce:
         otherwise retried executors would duplicate partial clusters."""
         from repro.engine import FaultPlan
 
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             sc.fault_plan = FaultPlan(fail_attempts={(-1, 1): 2})
             acc = sc.accumulator(INT_SUM)
             sc.parallelize(range(8), 4).foreach(lambda x: acc.add(1))

@@ -7,7 +7,7 @@ from repro.engine import FaultPlan, SparkContext
 
 class TestSpeculation:
     def test_straggler_gets_duplicate_attempt(self):
-        with SparkContext("local[4]", speculation=True) as sc:
+        with SparkContext("simulated[4]", speculation=True) as sc:
             # Partition 2 is a deterministic straggler.
             sc.fault_plan = FaultPlan(delays={(-1, 2): 0.2})
             got = sc.parallelize(range(8), 4).map(lambda x: x + 1).collect()
@@ -18,7 +18,7 @@ class TestSpeculation:
         """The scheduler's completed set keeps the faster attempt."""
         from repro.engine.executor import Task
 
-        with SparkContext("local[4]", speculation=True) as sc:
+        with SparkContext("simulated[4]", speculation=True) as sc:
             plan = FaultPlan(delays={(-1, 1): 0.2})
             rdd = sc.parallelize(range(8), 4).map(lambda x: x)
             tasks = [
@@ -34,14 +34,14 @@ class TestSpeculation:
 
     def test_accumulator_still_exactly_once(self):
         """The duplicate attempt must not double-count accumulators."""
-        with SparkContext("local[4]", speculation=True) as sc:
+        with SparkContext("simulated[4]", speculation=True) as sc:
             sc.fault_plan = FaultPlan(delays={(-1, 0): 0.2})
             acc = sc.accumulator()
             sc.parallelize(range(8), 4).foreach(lambda x: acc.add(1))
             assert acc.value == 8
 
     def test_no_speculation_without_stragglers(self):
-        with SparkContext("local[4]", speculation=True) as sc:
+        with SparkContext("simulated[4]", speculation=True) as sc:
             sc.parallelize(range(100), 4).map(lambda x: x).collect()
             # Uniform tiny tasks: nothing should trip the 2x-median rule
             # (they may occasionally due to scheduling noise; allow a little).
@@ -49,15 +49,15 @@ class TestSpeculation:
 
     def test_results_identical_with_and_without(self):
         data = list(range(50))
-        with SparkContext("local[4]", speculation=True) as sc:
+        with SparkContext("simulated[4]", speculation=True) as sc:
             sc.fault_plan = FaultPlan(delays={(-1, 3): 0.15})
             a = sc.parallelize(data, 4).map(lambda x: x * 3).collect()
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             b = sc.parallelize(data, 4).map(lambda x: x * 3).collect()
         assert a == b
 
     def test_speculation_with_failures_still_retries(self):
-        with SparkContext("local[4]", speculation=True) as sc:
+        with SparkContext("simulated[4]", speculation=True) as sc:
             sc.fault_plan = FaultPlan(
                 fail_attempts={(-1, 1): 1}, delays={(-1, 2): 0.15}
             )
@@ -65,4 +65,40 @@ class TestSpeculation:
 
     def test_bad_multiplier_rejected(self):
         with pytest.raises(ValueError):
-            SparkContext("local[2]", speculation=True, speculation_multiplier=1.0)
+            SparkContext("simulated[2]", speculation=True, speculation_multiplier=1.0)
+
+    def test_retry_budget_enforced_at_speculative_requeue(self):
+        """Regression: the speculative pass used to requeue failures without
+        checking the budget, granting every failed task one extra attempt.
+        With max_task_failures=1 the job must abort after exactly one
+        attempt of the doomed task, speculation on or off."""
+        from repro.engine import JobAbortedError
+        from repro.engine.executor import Task
+
+        attempts_seen = {}
+        for speculation in (True, False):
+            with SparkContext("simulated[2]", max_task_failures=1,
+                              speculation=speculation) as sc:
+                plan = FaultPlan(fail_attempts={(-1, 1): 99})
+                rdd = sc.parallelize(range(8), 2).map(lambda x: x)
+                tasks = [
+                    Task(job_id=0, stage_id=0, partition=p, attempt=0, rdd=rdd,
+                         kind="result", func=lambda _i, it: list(it),
+                         fault_plan=plan)
+                    for p in range(2)
+                ]
+                observed = []
+                with pytest.raises(JobAbortedError):
+                    sc.task_scheduler.run_task_set(tasks, on_outcome=observed.append)
+                attempts_seen[speculation] = sum(
+                    1 for o in observed if o.partition == 1
+                )
+        assert attempts_seen[True] == attempts_seen[False] == 1
+
+    def test_budget_allows_retries_below_limit(self):
+        """A task failing once with budget 3 still recovers under
+        speculation — the fix must not over-tighten."""
+        with SparkContext("simulated[2]", max_task_failures=3,
+                          speculation=True) as sc:
+            sc.fault_plan = FaultPlan(fail_attempts={(-1, 0): 2})
+            assert sc.parallelize(range(6), 2).collect() == list(range(6))

@@ -59,7 +59,7 @@ def test_full_stack_with_process_executors(world):
 def test_streaming_feed_into_incremental(world):
     g, _fs = world
     inc = IncrementalDBSCAN(EPS, MINPTS, d=10)
-    with SparkContext("local[2]") as sc:
+    with SparkContext("simulated[2]") as sc:
         ssc = StreamingContext(sc, num_partitions=2)
         batches = [g.points[i : i + 300].tolist() for i in range(0, g.n, 300)]
         stream = ssc.queue_stream(batches)

@@ -40,7 +40,7 @@ class TestHdfsToClusters:
                       replication=2, num_datanodes=3)
         fs.put_local_file(str(local), "/data/points.txt")
 
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             # 2. Read from HDFS and transform into points (Algorithm 2, 1-2).
             lines = sc.from_source(fs.open("/data/points.txt"))
             pts_rdd = lines.map(parse_point_line)
@@ -62,7 +62,7 @@ class TestHdfsToClusters:
                       replication=2, num_datanodes=3)
         fs.put_local_file(str(local), "/p.txt")
         fs.kill_datanode(1)
-        with SparkContext("local[2]") as sc:
+        with SparkContext("simulated[2]") as sc:
             lines = sc.from_source(fs.open("/p.txt"))
             assert lines.count() == g.n
 
@@ -72,7 +72,7 @@ class TestExecutorFaultRecovery:
         """An executor task that dies twice must recompute via lineage and
         still deliver exactly-once partial clusters."""
         g, tree, seq = workload
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             sc.fault_plan = FaultPlan(fail_attempts={(-1, 1): 2, (-1, 3): 1})
             res = SparkDBSCAN(25.0, 5, num_partitions=4).fit(
                 g.points, sc=sc, tree=tree
@@ -86,7 +86,7 @@ class TestExecutorFaultRecovery:
 
     def test_straggler_does_not_change_results(self, workload):
         g, tree, seq = workload
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             sc.fault_plan = FaultPlan(delays={(-1, 0): 0.05})
             res = SparkDBSCAN(25.0, 5, num_partitions=4).fit(
                 g.points, sc=sc, tree=tree
@@ -108,7 +108,7 @@ class TestManualAlgorithm2Assembly:
         n = g.n
         p = 4
         partitioner = IndexRangePartitioner(n, p)
-        with SparkContext("local[4]") as sc:
+        with SparkContext("simulated[4]") as sc:
             tree_b = sc.broadcast(tree)
             acc = sc.accumulator(LIST_CONCAT)
 

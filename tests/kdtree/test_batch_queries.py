@@ -1,0 +1,110 @@
+"""Batched neighbourhood kernels: `query_radius_batch` must be
+element-for-element identical to per-point `query_radius` — same
+indices, same order — because the batched executor path replays BFS
+expansion over the stored rows and any deviation would change partial
+clusters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kdtree import KDTree
+
+point_arrays = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 120), st.integers(1, 6)),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+def _rows(indptr, indices):
+    return [indices[indptr[k]:indptr[k + 1]] for k in range(len(indptr) - 1)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=point_arrays,
+    eps=st.floats(0.0, 80.0),
+    leaf=st.integers(1, 32),
+    block=st.integers(1, 64),
+)
+def test_batch_matches_per_point(pts, eps, leaf, block):
+    """Random clouds: every row equals the per-point query, order included."""
+    tree = KDTree(pts, leaf_size=leaf)
+    indptr, indices = tree.query_radius_batch(pts, eps, query_block=block)
+    counts = tree.count_radius_batch(pts, eps, query_block=block)
+    for k, row in enumerate(_rows(indptr, indices)):
+        ref = tree.query_radius(pts[k], eps)
+        assert np.array_equal(row, ref)
+        assert counts[k] == ref.size
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=point_arrays, eps=st.floats(0.0, 60.0), cap=st.integers(1, 12))
+def test_batch_matches_per_point_with_pruning(pts, eps, cap):
+    """The max_neighbors pruned variant must stop at the same prefix."""
+    tree = KDTree(pts, leaf_size=4)
+    indptr, indices = tree.query_radius_batch(pts, eps, max_neighbors=cap,
+                                              query_block=16)
+    for k, row in enumerate(_rows(indptr, indices)):
+        assert np.array_equal(row, tree.query_radius(pts[k], eps, cap))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), eps=st.floats(0.0, 5.0))
+def test_batch_handles_duplicate_points(seed, eps):
+    """Duplicate-heavy inputs exercise the zero-span oversized-leaf path."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-10, 10, (12, 3))
+    pts = base[rng.integers(0, 12, 150)]
+    tree = KDTree(pts, leaf_size=8)
+    indptr, indices = tree.query_radius_batch(pts, eps)
+    for k, row in enumerate(_rows(indptr, indices)):
+        assert np.array_equal(row, tree.query_radius(pts[k], eps))
+
+
+class TestBatchEdgeCases:
+    def test_empty_query_matrix(self):
+        tree = KDTree(np.random.default_rng(0).uniform(0, 1, (50, 3)))
+        indptr, indices = tree.query_radius_batch(np.empty((0, 3)), 1.0)
+        assert indptr.tolist() == [0]
+        assert indices.size == 0
+        assert tree.count_radius_batch(np.empty((0, 3)), 1.0).size == 0
+
+    def test_empty_tree(self):
+        tree = KDTree(np.empty((0, 2)))
+        indptr, indices = tree.query_radius_batch(np.zeros((3, 2)), 1.0)
+        assert indptr.tolist() == [0, 0, 0, 0]
+        assert indices.size == 0
+        assert tree.count_radius_batch(np.zeros((3, 2)), 1.0).tolist() == [0, 0, 0]
+
+    def test_zero_radius_hits_exact_duplicates_only(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        tree = KDTree(pts, leaf_size=1)
+        indptr, indices = tree.query_radius_batch(pts, 0.0)
+        assert sorted(indices[indptr[0]:indptr[1]].tolist()) == [0, 1]
+        assert indices[indptr[2]:indptr[3]].tolist() == [2]
+
+    def test_rejects_negative_eps(self):
+        tree = KDTree(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            tree.query_radius_batch(np.zeros((2, 2)), -1.0)
+
+    def test_rejects_dimension_mismatch(self):
+        tree = KDTree(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            tree.query_radius_batch(np.zeros((2, 3)), 1.0)
+
+    def test_foreign_queries_allowed(self):
+        """Query points need not be tree points (predict-style usage)."""
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 10, (200, 4))
+        Q = rng.uniform(0, 10, (37, 4))
+        tree = KDTree(pts, leaf_size=8)
+        indptr, indices = tree.query_radius_batch(Q, 2.0, query_block=10)
+        for k in range(37):
+            assert np.array_equal(indices[indptr[k]:indptr[k + 1]],
+                                  tree.query_radius(Q[k], 2.0))
