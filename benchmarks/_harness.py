@@ -10,6 +10,11 @@ Methodology (DESIGN.md §2): per-partition tasks are executed and timed
 individually; wall-clock on p cores is the measured-task makespan plus
 driver time.  With one partition per core (the paper's configuration)
 that makespan is simply the slowest task.
+
+Since the observability PR, every sweep point runs under a `Tracer` and
+the row's timing columns come from `TraceReport` — the same span
+arithmetic `repro trace` applies to a ``--trace-out`` file — so the
+benchmark tables and the CLI report can never drift apart.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 from repro.data import make_dataset
 from repro.dbscan import SparkDBSCAN, SparkDBSCANResult
 from repro.kdtree import KDTree
+from repro.obs import Tracer, TraceReport
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -97,26 +103,41 @@ def run_spark_once(
     """One SEED-DBSCAN run with ``cores`` partitions (= paper's one
     partition per core); returns the measured row.
 
-    Small datasets run twice and keep the run with the smaller
-    executor makespan (see BEST_OF_TWO_MAX_N).
+    Each attempt runs under its own `Tracer` and the row's timing
+    columns are read back from the span trace (`TraceReport`), so they
+    agree with ``repro trace`` by construction.  Small datasets run
+    twice and keep the run with the smaller executor makespan (see
+    BEST_OF_TWO_MAX_N).
     """
-    model = SparkDBSCAN(eps, minpts, num_partitions=cores, **kwargs)
-    res = model.fit(points, tree=tree)
+    def attempt() -> tuple[SparkDBSCANResult, TraceReport]:
+        tracer = Tracer()
+        model = SparkDBSCAN(
+            eps, minpts, num_partitions=cores, tracer=tracer, **kwargs
+        )
+        fitted = model.fit(points, tree=tree)
+        return fitted, TraceReport.from_tracer(tracer)
+
+    res, report = attempt()
     if points.shape[0] <= BEST_OF_TWO_MAX_N:
-        second = model.fit(points, tree=tree)
-        if second.timings.executor_max < res.timings.executor_max:
-            res = second
-    t = res.timings
+        second, second_report = attempt()
+        if second_report.executor_max_s < report.executor_max_s:
+            res, report = second, second_report
     row = SweepRow(
         dataset=dataset,
         cores=cores,
-        executor_wall=t.executor_max,
-        driver_time=t.driver_time,
-        total_wall=t.executor_max + t.driver_time,
-        partial_clusters=res.num_partial_clusters,
+        executor_wall=report.executor_max_s,
+        driver_time=report.driver_s,
+        total_wall=report.executor_max_s + report.driver_s,
+        partial_clusters=report.total_partials,
         seeds=res.num_seeds,
         num_clusters=res.num_clusters,
         num_noise=res.num_noise,
+        extras={
+            "executor_total_s": report.executor_total_s,
+            "kdtree_build_s": report.kdtree_build_s,
+            "wall_s": report.wall_s,
+            "driver_phases": dict(report.driver_phases),
+        },
     )
     return row, res
 

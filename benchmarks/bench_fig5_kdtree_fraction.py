@@ -8,28 +8,31 @@ small-vs-large ordering.
 
 from __future__ import annotations
 
-import time
-
 from repro.data import EPS, MINPTS, PAPER_SIZES, make_dataset
 from repro.dbscan import SparkDBSCAN
 from repro.kdtree import KDTree
+from repro.obs import Tracer, TraceReport
 
 from _harness import PAPER_FIG5_PERMILLE, print_table, save_results
 
 
 def _measure(name: str) -> dict:
+    """Run one traced fit; Figure 5's ratio falls out of the span report
+    (``kdtree_permille`` = build / (build + executor work + merge))."""
     g = make_dataset(name)
-    t0 = time.perf_counter()
-    tree = KDTree(g.points)
-    build = time.perf_counter() - t0
-    res = SparkDBSCAN(EPS, MINPTS, num_partitions=8).fit(g.points, tree=tree)
-    whole = build + res.timings.executor_total + res.timings.driver_merge
+    tracer = Tracer()
+    with tracer.span("driver.kdtree_build", cat="driver"):
+        tree = KDTree(g.points)
+    SparkDBSCAN(EPS, MINPTS, num_partitions=8, tracer=tracer).fit(
+        g.points, tree=tree
+    )
+    report = TraceReport.from_tracer(tracer)
     return {
         "dataset": name,
         "n": g.n,
-        "build_s": build,
-        "whole_s": whole,
-        "permille": 1000.0 * build / whole,
+        "build_s": report.kdtree_build_s,
+        "whole_s": report.whole_s,
+        "permille": report.kdtree_permille,
         "paper_permille": PAPER_FIG5_PERMILLE[name],
     }
 

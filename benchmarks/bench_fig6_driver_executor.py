@@ -7,6 +7,10 @@ Paper phenomena to reproduce:
   number of partial clusters (the ``n + K·m`` merge term of Sec IV-C);
 - for the small r10k the driver time barely moves ("the data set is too
   small").
+
+The executor/driver columns come from the span trace each sweep point
+records (`run_spark_once` fits under a `Tracer` and reads the splits
+back through `TraceReport`), not from ad-hoc timers.
 """
 
 from __future__ import annotations

@@ -52,38 +52,50 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_cluster(args: argparse.Namespace) -> int:
     """Cluster a dataset/points file with the chosen implementation."""
+    from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+
     points = _load_points(args.source)
     print(f"{points.shape[0]} points, d={points.shape[1]}; "
           f"algorithm={args.algorithm}, eps={args.eps}, minpts={args.minpts}")
+
+    tracer = Tracer() if args.trace_out else NULL_TRACER
+    registry = MetricsRegistry() if args.metrics_out else None
 
     if args.algorithm == "sequential":
         from repro.dbscan import dbscan_sequential
 
         result = dbscan_sequential(points, args.eps, args.minpts,
-                                   neighbor_mode=args.neighbor_mode)
+                                   neighbor_mode=args.neighbor_mode,
+                                   tracer=tracer)
     elif args.algorithm == "spark":
         from repro.dbscan import SparkDBSCAN
 
         result = SparkDBSCAN(args.eps, args.minpts,
                              num_partitions=args.partitions,
-                             neighbor_mode=args.neighbor_mode).fit(points)
+                             neighbor_mode=args.neighbor_mode,
+                             tracer=tracer,
+                             metrics_registry=registry).fit(points)
     elif args.algorithm == "spatial":
         from repro.dbscan import SpatialSparkDBSCAN
 
         result = SpatialSparkDBSCAN(args.eps, args.minpts,
                                     num_partitions=args.partitions,
-                                    neighbor_mode=args.neighbor_mode).fit(points)
+                                    neighbor_mode=args.neighbor_mode,
+                                    tracer=tracer,
+                                    metrics_registry=registry).fit(points)
     elif args.algorithm == "naive":
         from repro.dbscan import NaiveSparkDBSCAN
 
         result = NaiveSparkDBSCAN(args.eps, args.minpts,
-                                  num_partitions=args.partitions).fit(points)
+                                  num_partitions=args.partitions,
+                                  tracer=tracer).fit(points)
     else:  # mapreduce
         from repro.dbscan import MapReduceDBSCAN
 
         result = MapReduceDBSCAN(args.eps, args.minpts,
                                  num_maps=args.partitions,
-                                 startup_overhead=0.0).fit(points)
+                                 startup_overhead=0.0,
+                                 tracer=tracer).fit(points)
 
     print(result.summary())
     t = result.timings
@@ -93,6 +105,21 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     if args.labels_out:
         np.savetxt(args.labels_out, result.labels, fmt="%d")
         print(f"labels written to {args.labels_out}")
+    if args.trace_out:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans; render with `repro trace`)")
+    if registry is not None:
+        registry.gauge(
+            "repro_run_wall_seconds", "End-to-end wall clock of the run."
+        ).set(t.wall)
+        registry.gauge("repro_clusters", "Clusters found.").set(result.num_clusters)
+        registry.gauge("repro_noise_points", "Noise points.").set(result.num_noise)
+        registry.gauge(
+            "repro_partial_clusters", "Partial clusters before merging."
+        ).set(result.num_partial_clusters)
+        registry.write(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -150,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="executor neighbourhood kernel (batched = vectorised fast path; "
                         "only spark/spatial/sequential honour it)")
     c.add_argument("--labels-out", default=None)
+    c.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a span trace (Chrome trace-event JSON lines, "
+                        "Perfetto-loadable; render with `repro trace FILE`)")
+    c.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a Prometheus text exposition of run metrics")
     c.set_defaults(func=cmd_cluster)
 
     s = sub.add_parser("scaling", help="Figure 8-style speedup sweep")
@@ -164,14 +196,46 @@ def build_parser() -> argparse.ArgumentParser:
     h.add_argument("log_path")
     h.set_defaults(func=cmd_history)
 
+    tr = sub.add_parser("trace", help="report on a span trace written "
+                                      "by --trace-out")
+    tr.add_argument("trace_path")
+    tr.add_argument("--no-timeline", action="store_true",
+                    help="skip the ASCII timeline rendering")
+    tr.set_defaults(func=cmd_trace)
+
     return parser
 
 
 def cmd_history(args: argparse.Namespace) -> int:
     """Render an engine event log as a history report."""
-    from repro.engine.history import format_history, load_history
+    from repro.engine.history import HistoryError, format_history, load_history
 
-    print(format_history(load_history(args.log_path)))
+    try:
+        history = load_history(args.log_path)
+    except HistoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_history(history))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render a span trace: headline splits plus an ASCII timeline."""
+    from repro.obs import TraceReport, format_report, load_trace, render_timeline
+
+    try:
+        events = load_trace(args.trace_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"error: trace {args.trace_path!r} contains no events",
+              file=sys.stderr)
+        return 1
+    print(format_report(TraceReport.from_events(events)))
+    if not args.no_timeline:
+        print()
+        print(render_timeline(events))
     return 0
 
 

@@ -29,6 +29,7 @@ import numpy as np
 from ..engine.partitioner import IndexRangePartitioner
 from ..kdtree import KDTree
 from ..mapreduce import JobStats, MapReduceJob
+from ..obs.spans import NULL_TRACER, Tracer
 from .core import ClusteringResult, Timings
 from .merge import merge_partials
 from .partial import local_dbscan
@@ -64,6 +65,7 @@ class MapReduceDBSCAN:
         startup_overhead: float = 1.0,
         leaf_size: int = 64,
         tmp_dir: str | None = None,
+        tracer: Tracer | None = None,
     ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -78,6 +80,18 @@ class MapReduceDBSCAN:
         self.startup_overhead = startup_overhead
         self.leaf_size = leaf_size
         self.tmp_dir = tmp_dir or tempfile.mkdtemp(prefix="mrdbscan-")
+        self.tracer = tracer or NULL_TRACER
+
+    @staticmethod
+    def _graft_map_spans(tracer: Tracer, stats: JobStats, job: str) -> None:
+        """Record each measured map task as an executor-lane span."""
+        if not tracer.enabled:
+            return
+        for m, dur in enumerate(stats.map_task_durations):
+            tracer.add_span(
+                "executor.map_task", dur, cat="executor",
+                tid=f"{job}-map-{m}", partition=m, job=job,
+            )
 
     def fit(self, points: np.ndarray) -> MRDBSCANResult:
         """Run the clustering over the given points."""
@@ -88,14 +102,18 @@ class MapReduceDBSCAN:
         timings = Timings()
         wall_start = time.perf_counter()
 
+        tracer = self.tracer
+
         # Driver: build the tree once and stage it in the distributed cache.
         os.makedirs(self.tmp_dir, exist_ok=True)
-        t0 = time.perf_counter()
-        tree = KDTree(points, leaf_size=self.leaf_size)
-        cache_path = os.path.join(self.tmp_dir, "kdtree.cache.pkl")
-        with open(cache_path, "wb") as f:
-            pickle.dump(tree, f, protocol=pickle.HIGHEST_PROTOCOL)
-        timings.kdtree_build = time.perf_counter() - t0
+        with tracer.span("driver.kdtree_build", cat="driver") as sp:
+            t0 = time.perf_counter()
+            tree = KDTree(points, leaf_size=self.leaf_size)
+            cache_path = os.path.join(self.tmp_dir, "kdtree.cache.pkl")
+            with open(cache_path, "wb") as f:
+                pickle.dump(tree, f, protocol=pickle.HIGHEST_PROTOCOL)
+            timings.kdtree_build = time.perf_counter() - t0
+            sp.annotate(n=n, cache_bytes=os.path.getsize(cache_path))
 
         partitioner = IndexRangePartitioner(n, self.num_maps)
         eps, minpts, seed_policy = self.eps, self.minpts, self.seed_policy
@@ -132,7 +150,9 @@ class MapReduceDBSCAN:
         splits = [
             [(m, partitioner.range_of(m))] for m in range(self.num_maps)
         ]
-        labelled = [kv for out in job1.run(splits) for kv in out]
+        with tracer.span("mr.job1", round=1, startup_overhead=self.startup_overhead):
+            labelled = [kv for out in job1.run(splits) for kv in out]
+        self._graft_map_spans(tracer, job1.stats, "mr1")
 
         # ---- Round 2: relabel/validate — re-materialise all records ---------
         def map_identity(idx, label):
@@ -148,7 +168,9 @@ class MapReduceDBSCAN:
             tmp_dir=os.path.join(self.tmp_dir, "job2"),
             startup_overhead=self.startup_overhead,
         )
-        out2 = job2.run_on_records(labelled, self.num_maps)
+        with tracer.span("mr.job2", round=2, startup_overhead=self.startup_overhead):
+            out2 = job2.run_on_records(labelled, self.num_maps)
+        self._graft_map_spans(tracer, job2.stats, "mr2")
 
         labels = np.full(n, -1, dtype=np.int64)
         for idx, lab in out2:

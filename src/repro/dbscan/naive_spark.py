@@ -27,6 +27,7 @@ import numpy as np
 
 from ..engine import SparkContext
 from ..kdtree import KDTree
+from ..obs.spans import NULL_TRACER, Tracer
 from .core import NOISE, ClusteringResult, Timings
 
 
@@ -48,6 +49,7 @@ class NaiveSparkDBSCAN:
         master: str | None = None,
         max_rounds: int = 100,
         leaf_size: int = 64,
+        tracer: Tracer | None = None,
     ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -59,6 +61,7 @@ class NaiveSparkDBSCAN:
         self.master = master or f"simulated[{num_partitions}]"
         self.max_rounds = max_rounds
         self.leaf_size = leaf_size
+        self.tracer = tracer or NULL_TRACER
 
     def fit(self, points: np.ndarray, sc: SparkContext | None = None) -> NaiveSparkResult:
         """Run the clustering over the given points."""
@@ -67,13 +70,18 @@ class NaiveSparkDBSCAN:
         timings = Timings()
         wall_start = time.perf_counter()
 
-        t0 = time.perf_counter()
-        tree = KDTree(points, leaf_size=self.leaf_size)
-        timings.kdtree_build = time.perf_counter() - t0
+        tracer = self.tracer
+        if not tracer.enabled and sc is not None and sc.tracer.enabled:
+            tracer = sc.tracer
+
+        with tracer.span("driver.kdtree_build", cat="driver"):
+            t0 = time.perf_counter()
+            tree = KDTree(points, leaf_size=self.leaf_size)
+            timings.kdtree_build = time.perf_counter() - t0
 
         own_sc = sc is None
         if own_sc:
-            sc = SparkContext(self.master, app_name="naive-spark-dbscan")
+            sc = SparkContext(self.master, app_name="naive-spark-dbscan", tracer=tracer)
         rounds = 0
         try:
             eps, minpts = self.eps, self.minpts
@@ -110,17 +118,19 @@ class NaiveSparkDBSCAN:
             # Iterative min-label propagation; each round shuffles.
             for _ in range(self.max_rounds):
                 rounds += 1
-                lab_b = sc.broadcast(labels)
-                new_pairs = (
-                    edges.map(lambda e: (e[1], lab_b.value[e[0]]))
-                    .reduce_by_key(min, self.num_partitions)
-                    .collect()
-                )
-                changed = 0
-                for i, incoming in new_pairs:
-                    if incoming < labels[i]:
-                        labels[i] = incoming
-                        changed += 1
+                with tracer.span("naive.propagation_round", round=rounds) as round_sp:
+                    lab_b = sc.broadcast(labels)
+                    new_pairs = (
+                        edges.map(lambda e: (e[1], lab_b.value[e[0]]))
+                        .reduce_by_key(min, self.num_partitions)
+                        .collect()
+                    )
+                    changed = 0
+                    for i, incoming in new_pairs:
+                        if incoming < labels[i]:
+                            labels[i] = incoming
+                            changed += 1
+                    round_sp.annotate(changed=changed)
                 if changed == 0:
                     break
 

@@ -20,6 +20,7 @@ from collections import deque
 import numpy as np
 
 from ..kdtree import KDTree
+from ..obs.spans import NULL_TRACER, Tracer
 from .core import NOISE, UNCLASSIFIED, ClusteringResult, Timings
 from .partial import NEIGHBOR_MODES
 
@@ -33,6 +34,7 @@ def dbscan_sequential(
     leaf_size: int = 64,
     max_neighbors: int | None = None,
     neighbor_mode: str = "per_point",
+    tracer: Tracer | None = None,
 ) -> ClusteringResult:
     """Cluster ``points`` with classic DBSCAN (Algorithm 1).
 
@@ -56,30 +58,40 @@ def dbscan_sequential(
             f"neighbor_mode must be one of {NEIGHBOR_MODES}, got {neighbor_mode!r}"
         )
 
+    tracer = tracer or NULL_TRACER
     timings = Timings()
-    t_start = time.perf_counter()
-    if tree is None:
-        t0 = time.perf_counter()
-        tree = KDTree(points, leaf_size=leaf_size)
-        timings.kdtree_build = time.perf_counter() - t0
+    with tracer.span(
+        "dbscan.fit", algorithm="sequential", n=int(points.shape[0]),
+        eps=eps, minpts=minpts,
+    ):
+        t_start = time.perf_counter()
+        if tree is None:
+            with tracer.span("driver.kdtree_build", cat="driver"):
+                t0 = time.perf_counter()
+                tree = KDTree(points, leaf_size=leaf_size)
+                timings.kdtree_build = time.perf_counter() - t0
 
-    if neighbor_mode == "batched":
-        indptr, indices = tree.query_radius_batch(points, eps, max_neighbors)
+        with tracer.span(
+            "executor.partition_expand", cat="executor", tid="executor-0",
+            partition=0, impl=impl, mode=neighbor_mode,
+        ):
+            if neighbor_mode == "batched":
+                indptr, indices = tree.query_radius_batch(points, eps, max_neighbors)
 
-        def neigh_of(j: int) -> np.ndarray:
-            return indices[indptr[j]:indptr[j + 1]]
-    else:
-        query = tree.query_radius
+                def neigh_of(j: int) -> np.ndarray:
+                    return indices[indptr[j]:indptr[j + 1]]
+            else:
+                query = tree.query_radius
 
-        def neigh_of(j: int) -> np.ndarray:
-            return query(points[j], eps, max_neighbors)
+                def neigh_of(j: int) -> np.ndarray:
+                    return query(points[j], eps, max_neighbors)
 
-    if impl == "array":
-        labels = _dbscan_array(points.shape[0], minpts, neigh_of)
-    else:
-        labels = _dbscan_hashtable(points.shape[0], minpts, neigh_of)
+            if impl == "array":
+                labels = _dbscan_array(points.shape[0], minpts, neigh_of)
+            else:
+                labels = _dbscan_hashtable(points.shape[0], minpts, neigh_of)
 
-    timings.wall = time.perf_counter() - t_start
+        timings.wall = time.perf_counter() - t_start
     timings.executor_total = timings.wall - timings.kdtree_build
     timings.executor_max = timings.executor_total
     timings.executor_task_durations = [timings.executor_total]

@@ -23,9 +23,10 @@ import numpy as np
 from ..engine import LIST_CONCAT, SparkContext
 from ..engine.partitioner import IndexRangePartitioner
 from ..kdtree import KDTree
+from ..obs.spans import NULL_TRACER, Tracer
 from .core import ClusteringResult, Timings
 from .merge import MERGE_STRATEGIES, merge_partials
-from .partial import NEIGHBOR_MODES, SEED_POLICIES, PartialCluster, local_dbscan
+from .partial import NEIGHBOR_MODES, SEED_POLICIES, OpCounters, PartialCluster, local_dbscan
 
 
 @dataclass
@@ -73,6 +74,14 @@ class SparkDBSCAN:
         kd-tree leaf size.
     keep_partials:
         Retain partial clusters on the result for inspection.
+    tracer:
+        `repro.obs.Tracer` receiving the run's phase spans (DESIGN.md
+        §7).  Defaults to the no-op `NULL_TRACER`; labels are identical
+        either way.
+    metrics_registry:
+        `repro.obs.MetricsRegistry` receiving task metrics and the
+        executors' `OpCounters` (collected through a second accumulator
+        only when a registry is present).
     """
 
     def __init__(
@@ -88,6 +97,8 @@ class SparkDBSCAN:
         leaf_size: int = 64,
         keep_partials: bool = False,
         neighbor_mode: str = "per_point",
+        tracer: Tracer | None = None,
+        metrics_registry=None,
     ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -112,6 +123,8 @@ class SparkDBSCAN:
         self.leaf_size = leaf_size
         self.keep_partials = keep_partials
         self.neighbor_mode = neighbor_mode
+        self.tracer = tracer or NULL_TRACER
+        self.metrics_registry = metrics_registry
 
     def fit(
         self,
@@ -128,29 +141,53 @@ class SparkDBSCAN:
         timings = Timings()
         wall_start = time.perf_counter()
 
-        # ---- driver: build the kd-tree over the whole dataset ----------
-        if tree is None:
-            t0 = time.perf_counter()
-            tree = KDTree(points, leaf_size=self.leaf_size)
-            timings.kdtree_build = time.perf_counter() - t0
+        # When fitted inside a caller's traced SparkContext, adopt its
+        # tracer so algorithm and engine spans land in one trace.
+        tracer = self.tracer
+        if not tracer.enabled and sc is not None and sc.tracer.enabled:
+            tracer = sc.tracer
 
-        own_sc = sc is None
-        if own_sc:
-            sc = SparkContext(self.master, app_name="spark-dbscan")
-        try:
-            partials = self._run_job(sc, points, tree, n, timings)
-            # ---- driver: dig SEEDs and merge (Algorithm 4) --------------
-            t0 = time.perf_counter()
-            outcome = merge_partials(
-                partials,
-                n,
-                strategy=self.merge_strategy,
-                min_cluster_size=self.min_cluster_size,
-            )
-            timings.driver_merge = time.perf_counter() - t0
-        finally:
+        with tracer.span(
+            "dbscan.fit", algorithm=type(self).__name__, n=n,
+            partitions=self.num_partitions, eps=self.eps, minpts=self.minpts,
+        ):
+            # ---- driver: build the kd-tree over the whole dataset ----------
+            if tree is None:
+                with tracer.span("driver.kdtree_build", cat="driver") as sp:
+                    t0 = time.perf_counter()
+                    tree = KDTree(points, leaf_size=self.leaf_size)
+                    timings.kdtree_build = time.perf_counter() - t0
+                    sp.annotate(n=n, leaf_size=self.leaf_size)
+
+            own_sc = sc is None
             if own_sc:
-                sc.stop()
+                sc = SparkContext(
+                    self.master, app_name="spark-dbscan", tracer=tracer,
+                    metrics_registry=self.metrics_registry,
+                )
+            try:
+                partials = self._run_job(sc, points, tree, n, timings, tracer)
+                # ---- driver: dig SEEDs and merge (Algorithm 4) --------------
+                with tracer.span("driver.merge", cat="driver") as sp:
+                    t0 = time.perf_counter()
+                    outcome = merge_partials(
+                        partials,
+                        n,
+                        strategy=self.merge_strategy,
+                        min_cluster_size=self.min_cluster_size,
+                    )
+                    timings.driver_merge = time.perf_counter() - t0
+                    sp.annotate(
+                        strategy=self.merge_strategy,
+                        num_partials=len(partials),
+                        num_seeds=sum(len(c.seeds) for c in partials),
+                        num_merges=outcome.num_merges,
+                        num_global_clusters=outcome.num_global_clusters,
+                        overlapping_points=outcome.overlapping_points,
+                    )
+            finally:
+                if own_sc:
+                    sc.stop()
 
         timings.wall = time.perf_counter() - wall_start
         return SparkDBSCANResult(
@@ -169,29 +206,36 @@ class SparkDBSCAN:
         tree: KDTree,
         n: int,
         timings: Timings,
+        tracer: Tracer = NULL_TRACER,
     ) -> list[PartialCluster]:
         """Algorithm 2 lines 1–29: distribute, cluster locally, accumulate."""
         partitioner = IndexRangePartitioner(n, self.num_partitions)
         eps, minpts = self.eps, self.minpts
         seed_policy, max_neighbors = self.seed_policy, self.max_neighbors
         neighbor_mode = self.neighbor_mode
+        collect_counters = self.metrics_registry is not None
 
-        t0 = time.perf_counter()
-        tree_b = sc.broadcast(tree)
-        indices = sc.parallelize(range(n), self.num_partitions)
-        acc = sc.accumulator(LIST_CONCAT)
-        timings.setup = time.perf_counter() - t0
+        with tracer.span("driver.setup", cat="driver"):
+            t0 = time.perf_counter()
+            tree_b = sc.broadcast(tree)
+            indices = sc.parallelize(range(n), self.num_partitions)
+            acc = sc.accumulator(LIST_CONCAT)
+            counters_acc = sc.accumulator(LIST_CONCAT) if collect_counters else None
+            timings.setup = time.perf_counter() - t0
 
         def run_partition(pid: int, it) -> None:
             t = tree_b.value
+            counters = OpCounters() if collect_counters else None
             result = local_dbscan(
                 pid, it, t.points, t, eps, minpts, partitioner,
                 seed_policy=seed_policy, max_neighbors=max_neighbors,
-                neighbor_mode=neighbor_mode,
+                neighbor_mode=neighbor_mode, counters=counters,
             )
             # Algorithm 2 lines 26–28: ship partial clusters to the driver
             # through the accumulator as the task finishes.
             acc.add(result)
+            if counters_acc is not None:
+                counters_acc.add([(pid, counters)])
 
         indices.foreach_partition_with_index(run_partition)
 
@@ -199,4 +243,28 @@ class SparkDBSCAN:
         timings.executor_task_durations = durations
         timings.executor_total = sum(durations)
         timings.executor_max = max(durations) if durations else 0.0
-        return list(acc.value)
+
+        with tracer.span("driver.accumulator_drain", cat="driver") as sp:
+            partials = list(acc.value)
+            sp.annotate(num_partials=len(partials))
+
+        if tracer.enabled:
+            partials_per = [0] * self.num_partitions
+            seeds_per = [0] * self.num_partitions
+            for c in partials:
+                partials_per[c.partition] += 1
+                seeds_per[c.partition] += len(c.seeds)
+            # Graft per-partition expansion spans: with one partition per
+            # core (the paper's setup) their max is the executor wall.
+            for pid, dur in enumerate(durations):
+                tracer.add_span(
+                    "executor.partition_expand", dur, cat="executor",
+                    tid=f"executor-{pid}", partition=pid,
+                    partials=partials_per[pid], seeds=seeds_per[pid],
+                )
+        if collect_counters:
+            from ..obs.registry import record_op_counters
+
+            for pid, oc in counters_acc.value:
+                record_op_counters(self.metrics_registry, oc, partition=pid)
+        return partials

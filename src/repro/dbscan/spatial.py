@@ -53,20 +53,23 @@ class SpatialSparkDBSCAN(SparkDBSCAN):
     def fit(self, points, sc=None, tree=None) -> SparkDBSCANResult:
         """Run the clustering over the given points."""
         points = np.ascontiguousarray(points, dtype=np.float64)
-        t0 = time.perf_counter()
-        perm = spatial_order(points, leaf_size=self.leaf_size)
-        reorder_time = time.perf_counter() - t0
-        reordered = points[perm]
+        with self.tracer.span("driver.spatial_reorder", cat="driver") as sp:
+            t0 = time.perf_counter()
+            perm = spatial_order(points, leaf_size=self.leaf_size)
+            reorder_time = time.perf_counter() - t0
+            reordered = points[perm]
+            sp.annotate(n=int(points.shape[0]), leaf_size=self.leaf_size)
         result = super().fit(reordered, sc=sc, tree=None)
-        # Undo the permutation: reordered[k] is original point perm[k].
-        labels = np.empty_like(result.labels)
-        labels[perm] = result.labels
-        result.labels = labels
-        if result.partials is not None:
-            for c in result.partials:
-                c.members = [int(perm[m]) for m in c.members]
-                c.seeds = [int(perm[s]) for s in c.seeds]
-                c.borders = {int(perm[b]) for b in c.borders}
+        with self.tracer.span("driver.relabel", cat="driver"):
+            # Undo the permutation: reordered[k] is original point perm[k].
+            labels = np.empty_like(result.labels)
+            labels[perm] = result.labels
+            result.labels = labels
+            if result.partials is not None:
+                for c in result.partials:
+                    c.members = [int(perm[m]) for m in c.members]
+                    c.seeds = [int(perm[s]) for s in c.seeds]
+                    c.borders = {int(perm[b]) for b in c.borders}
         result.perm = perm
         result.timings.setup += reorder_time
         result.timings.wall += reorder_time

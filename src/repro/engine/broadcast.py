@@ -49,6 +49,7 @@ class Broadcast(Generic[T]):
     def __init__(self, bid: int, value: T, spill_dir: str | None):
         self.bid = bid
         self._path: str | None = None
+        self.nbytes = 0   # serialized size; 0 when never materialised to disk
         with _cache_lock:
             _local_cache[bid] = value
         if spill_dir is not None:
@@ -57,6 +58,7 @@ class Broadcast(Generic[T]):
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
             self._path = path
+            self.nbytes = os.path.getsize(path)
 
     @property
     def value(self) -> T:

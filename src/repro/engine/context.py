@@ -26,6 +26,7 @@ from .backends import make_backend, parse_master
 from .broadcast import Broadcast, BroadcastManager
 from .dag_scheduler import DAGScheduler
 from .errors import ContextStoppedError
+from ..obs.spans import NULL_TRACER, Tracer
 from .event_log import EventLog
 from .fault import FaultPlan
 from .metrics import JobMetrics
@@ -49,9 +50,13 @@ class SparkContext:
         event_log_path: str | None = None,
         speculation: bool = False,
         speculation_multiplier: float = 2.0,
+        tracer: Tracer = NULL_TRACER,
+        metrics_registry: Any = None,
     ):
         self.master = master
         self.app_name = app_name
+        self.tracer = tracer
+        self.metrics_registry = metrics_registry
         self.mode, self.default_parallelism = parse_master(master)
         self._own_spill_dir = spill_dir is None
         self.spill_dir = spill_dir or tempfile.mkdtemp(prefix="minispark-")
@@ -67,9 +72,14 @@ class SparkContext:
             max_task_failures,
             speculation=speculation,
             speculation_multiplier=speculation_multiplier,
+            tracer=tracer,
         )
         self.dag_scheduler = DAGScheduler(
-            self.task_scheduler, self.shuffle_manager, self.accumulators
+            self.task_scheduler,
+            self.shuffle_manager,
+            self.accumulators,
+            tracer=tracer,
+            metrics_registry=metrics_registry,
         )
         self.fault_plan = FaultPlan()  # injected faults/stragglers for tests
         self.event_log = EventLog(event_log_path)
@@ -100,7 +110,15 @@ class SparkContext:
     def broadcast(self, value: T) -> Broadcast[T]:
         """Create a read-only shared variable cached per executor."""
         self._check_running()
-        return self.broadcast_manager.new_broadcast(value)
+        with self.tracer.span("driver.broadcast", cat="driver") as sp:
+            b = self.broadcast_manager.new_broadcast(value)
+            sp.annotate(bid=b.bid, nbytes=b.nbytes)
+        if self.metrics_registry is not None and b.nbytes:
+            self.metrics_registry.counter(
+                "repro_broadcast_bytes_total",
+                "Bytes serialized for broadcast variables.",
+            ).inc(b.nbytes)
+        return b
 
     def accumulator(self, param: AccumulatorParam[T] = INT_SUM) -> Accumulator[T]:
         """Create an add-only shared variable merged at the driver."""

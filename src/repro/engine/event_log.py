@@ -66,13 +66,26 @@ class EventLog:
                     succeeded=t.succeeded,
                     run_time=t.run_time,
                     shuffle_bytes_written=t.shuffle_bytes_written,
+                    shuffle_bytes_read=t.shuffle_bytes_read,
                 )
 
     def close(self) -> None:
-        """Flush and close the underlying file."""
+        """Flush and close the underlying file.  Idempotent; called by
+        `SparkContext.stop`, and by ``with EventLog(...) as log``."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        """True once the backing file (if any) has been released."""
+        return self._fh is None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def load_event_log(path: str) -> list[dict[str, Any]]:

@@ -8,11 +8,16 @@ volume.  Exposed on the CLI as ``python -m repro history <log>``.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any
 
 from .event_log import load_event_log
+
+
+class HistoryError(Exception):
+    """An event log that cannot be summarised (missing, empty, malformed)."""
 
 
 @dataclass
@@ -24,6 +29,7 @@ class StageSummary:
     total_task_time: float = 0.0
     max_task_time: float = 0.0
     shuffle_bytes_written: int = 0
+    shuffle_bytes_read: int = 0
 
 
 @dataclass
@@ -63,7 +69,9 @@ def summarize_events(events: list[dict[str, Any]]) -> AppHistory:
     """Fold raw events into an `AppHistory`."""
     app = AppHistory()
     task_seen: dict[tuple[int, int], set[int]] = defaultdict(set)
-    for e in events:
+    for i, e in enumerate(events):
+        if not isinstance(e, dict) or "event" not in e:
+            raise HistoryError(f"event {i} is not a valid engine event: {e!r}")
         kind = e["event"]
         if kind == "app_start":
             app.app_name = e.get("app_name", "?")
@@ -92,12 +100,31 @@ def summarize_events(events: list[dict[str, Any]]) -> AppHistory:
             else:
                 stage.failed_attempts += 1
             stage.shuffle_bytes_written += e.get("shuffle_bytes_written", 0)
+            stage.shuffle_bytes_read += e.get("shuffle_bytes_read", 0)
     return app
 
 
 def load_history(path: str) -> AppHistory:
-    """Read an event-log file and summarise it."""
-    return summarize_events(load_event_log(path))
+    """Read an event-log file and summarise it.
+
+    Raises `HistoryError` (rather than a raw traceback-provoking
+    exception) when the file is missing, empty, or not a JSON-lines
+    engine event log.
+    """
+    try:
+        events = load_event_log(path)
+    except OSError as exc:
+        raise HistoryError(f"cannot read event log {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise HistoryError(f"{path!r} is not JSON-lines: {exc}") from exc
+    if not events:
+        raise HistoryError(f"event log {path!r} is empty")
+    try:
+        return summarize_events(events)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise HistoryError(
+            f"{path!r} is not an engine event log: {exc}"
+        ) from exc
 
 
 def format_history(app: AppHistory) -> str:
@@ -119,8 +146,13 @@ def format_history(app: AppHistory) -> str:
                 f"{stage.total_task_time:.3f}s total, "
                 f"{stage.max_task_time:.3f}s max"
                 + (
-                    f", {stage.shuffle_bytes_written} shuffle bytes"
+                    f", {stage.shuffle_bytes_written} shuffle bytes written"
                     if stage.shuffle_bytes_written
+                    else ""
+                )
+                + (
+                    f", {stage.shuffle_bytes_read} shuffle bytes read"
+                    if stage.shuffle_bytes_read
                     else ""
                 )
             )

@@ -115,8 +115,18 @@ def write_map_output(
 
 
 def read_reduce_input(paths: list[str]) -> Iterator[tuple[Any, Any]]:
-    """Stream all (k, v) records destined for one reducer."""
+    """Stream all (k, v) records destined for one reducer.
+
+    Fetched bytes are charged to the running task's
+    ``TaskMetrics.shuffle_bytes_read`` (when a task context is active),
+    mirroring how `write_map_output` feeds ``shuffle_bytes_written``.
+    """
+    from . import task_context
+
+    ctx = task_context.get()
     for path in paths:
         with open(path, "rb") as f:
-            items = pickle.load(f)
-        yield from items
+            blob = f.read()
+        if ctx is not None:
+            ctx.metrics.shuffle_bytes_read += len(blob)
+        yield from pickle.loads(blob)

@@ -20,6 +20,7 @@ import dataclasses
 import statistics
 from typing import Callable
 
+from ..obs.spans import NULL_TRACER, Tracer
 from .backends import Backend
 from .errors import JobAbortedError
 from .executor import Task, TaskOutcome
@@ -34,6 +35,7 @@ class TaskScheduler:
         max_task_failures: int = 4,
         speculation: bool = False,
         speculation_multiplier: float = 2.0,
+        tracer: Tracer = NULL_TRACER,
     ):
         if max_task_failures < 1:
             raise ValueError("max_task_failures must be >= 1")
@@ -44,6 +46,7 @@ class TaskScheduler:
         self.speculation = speculation
         self.speculation_multiplier = speculation_multiplier
         self.speculative_launches = 0
+        self.tracer = tracer
 
     def run_task_set(
         self,
@@ -77,6 +80,11 @@ class TaskScheduler:
                             f"{next_attempt} times; last error: {outcome.error}"
                         )
                     original = by_partition[outcome.partition]
+                    self.tracer.instant(
+                        "task_retry", cat="engine",
+                        stage_id=original.stage_id,
+                        partition=outcome.partition, attempt=next_attempt,
+                    )
                     retries.append(dataclasses.replace(original, attempt=next_attempt))
             pending = retries
         return completed
@@ -133,6 +141,12 @@ class TaskScheduler:
                 )
                 respawn.append(clean)
                 self.speculative_launches += 1
+                self.tracer.instant(
+                    "speculative_launch", cat="engine",
+                    stage_id=original.stage_id, partition=o.partition,
+                    attempt=o.attempt + 1,
+                    straggler_run_time=round(o.metrics.run_time, 6),
+                )
             completed.setdefault(o.partition, o)
         for o2 in self.backend.run(respawn) if respawn else []:
             if on_outcome is not None:

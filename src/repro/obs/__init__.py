@@ -1,0 +1,45 @@
+"""Observability: structured span tracing, a metrics registry, and
+trace-driven reports.
+
+Three pieces (DESIGN.md §7):
+
+- `spans` — `Tracer` / `Span`: nestable timed regions with labels,
+  exported as Chrome trace-event JSON lines (Perfetto-loadable).  The
+  module singleton `NULL_TRACER` is the zero-overhead default.
+- `registry` — `MetricsRegistry` of labelled Counter/Gauge/Histogram
+  instruments with Prometheus text exposition; `TaskMetrics` and
+  `OpCounters` bridge in via `record_task_metrics`/`record_op_counters`.
+- `report` — computes the paper's headline splits (Fig 5 kd-tree
+  fraction, Fig 6 driver/executor time and partial-cluster counts,
+  merge stats) directly from a trace, plus a text timeline renderer.
+"""
+
+from .spans import NULL_TRACER, NullTracer, Span, Tracer, load_trace
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+    record_op_counters,
+    record_task_metrics,
+)
+from .report import TraceReport, format_report, render_timeline
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "TraceReport",
+    "Tracer",
+    "format_report",
+    "load_trace",
+    "parse_exposition",
+    "record_op_counters",
+    "record_task_metrics",
+    "render_timeline",
+]

@@ -1,0 +1,240 @@
+"""Trace reports: the paper's headline splits computed from spans.
+
+The whole point of the span layer is that Figure 5 (kd-tree fraction),
+Figure 6 (driver vs executor split, partial-cluster counts) and the
+merge-graph statistics fall out of one trace instead of ad-hoc timers:
+
+- **kd-tree fraction** — ``driver.kdtree_build`` over the whole run
+  (build + executor work + merge), the exact denominator Figure 5 uses;
+- **driver vs executor** — sum of top-level ``cat="driver"`` spans vs
+  the ``cat="executor"`` per-partition expansion spans (their max is
+  the parallel executor wall-clock, paper configuration one partition
+  per core);
+- **partials / merge stats** — carried as labels on the expansion and
+  ``driver.merge`` spans.
+
+`TraceReport.from_events` consumes the Chrome trace events written by
+`Tracer.write_jsonl`, so it works identically on a live tracer
+(``TraceReport.from_tracer``) and on a file read back from disk
+(``repro trace t.jsonl``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .spans import Tracer, iter_complete_events
+
+__all__ = ["TraceReport", "format_report", "render_timeline"]
+
+#: Span names considered driver-side algorithm phases.  Anything with
+#: ``cat="driver"`` counts; this ordering is only used for display.
+DRIVER_PHASE_ORDER = (
+    "driver.load",
+    "driver.spatial_reorder",
+    "driver.kdtree_build",
+    "driver.setup",
+    "driver.broadcast",
+    "driver.accumulator_drain",
+    "driver.merge",
+    "driver.relabel",
+)
+
+
+def _contains(outer: dict[str, Any], inner: dict[str, Any]) -> bool:
+    """True iff ``outer`` strictly contains ``inner`` in time on one lane."""
+    if outer is inner or outer.get("tid") != inner.get("tid"):
+        return False
+    o0, o1 = outer["ts"], outer["ts"] + outer["dur"]
+    i0, i1 = inner["ts"], inner["ts"] + inner["dur"]
+    return o0 <= i0 and i1 <= o1 and (o1 - o0) > (i1 - i0)
+
+
+@dataclass
+class TraceReport:
+    """Headline numbers extracted from one run's span trace."""
+
+    wall_s: float = 0.0               # outermost span's duration
+    kdtree_build_s: float = 0.0
+    driver_s: float = 0.0             # top-level cat="driver" spans
+    executor_total_s: float = 0.0     # sum of cat="executor" spans
+    executor_max_s: float = 0.0       # slowest executor span
+    engine_task_s: float = 0.0        # cat="engine" task-attempt spans
+    num_executor_spans: int = 0
+    driver_phases: dict[str, float] = field(default_factory=dict)
+    partials_by_partition: dict[int, int] = field(default_factory=dict)
+    merge_stats: dict[str, Any] = field(default_factory=dict)
+    shuffle_bytes_written: int = 0
+    shuffle_bytes_read: int = 0
+    broadcast_bytes: int = 0
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def whole_s(self) -> float:
+        """Figure 5's denominator: build + executor work + merge."""
+        return (
+            self.kdtree_build_s
+            + self.executor_total_s
+            + self.driver_phases.get("driver.merge", 0.0)
+        )
+
+    @property
+    def kdtree_fraction(self) -> float:
+        """kd-tree build / whole DBSCAN (Figure 5)."""
+        return self.kdtree_build_s / self.whole_s if self.whole_s else 0.0
+
+    @property
+    def kdtree_permille(self) -> float:
+        """Figure 5's unit: per-mille of the whole run."""
+        return 1000.0 * self.kdtree_fraction
+
+    @property
+    def total_partials(self) -> int:
+        """Partial clusters across all partitions (Figure 6)."""
+        return sum(self.partials_by_partition.values())
+
+    @classmethod
+    def from_events(cls, events: list[dict[str, Any]]) -> "TraceReport":
+        """Fold Chrome trace events into a report."""
+        xs = list(iter_complete_events(events))
+        report = cls()
+        driver = [e for e in xs if e.get("cat") == "driver"]
+        for e in xs:
+            name = e.get("name", "?")
+            cat = e.get("cat", "")
+            dur_s = e["dur"] / 1e6
+            args = e.get("args") or {}
+            if cat == "driver":
+                # Sum only top-level driver spans: a nested driver span
+                # (driver.broadcast inside driver.setup) is already
+                # counted by its parent.
+                if not any(_contains(o, e) for o in driver):
+                    report.driver_s += dur_s
+                report.driver_phases[name] = (
+                    report.driver_phases.get(name, 0.0) + dur_s
+                )
+                if name == "driver.kdtree_build":
+                    report.kdtree_build_s += dur_s
+                if name == "driver.merge":
+                    report.merge_stats = {
+                        k: v for k, v in args.items()
+                        if k not in ("cpu_ms", "depth")
+                    }
+                if name == "driver.broadcast":
+                    report.broadcast_bytes += int(args.get("nbytes", 0))
+            elif cat == "executor":
+                report.executor_total_s += dur_s
+                report.executor_max_s = max(report.executor_max_s, dur_s)
+                report.num_executor_spans += 1
+                if "partition" in args and "partials" in args:
+                    p = int(args["partition"])
+                    report.partials_by_partition[p] = (
+                        report.partials_by_partition.get(p, 0)
+                        + int(args["partials"])
+                    )
+            elif cat == "engine":
+                if name.startswith("task"):
+                    report.engine_task_s += dur_s
+                report.shuffle_bytes_written += int(
+                    args.get("shuffle_bytes_written", 0)
+                )
+                report.shuffle_bytes_read += int(args.get("shuffle_bytes_read", 0))
+            span_end = (e["ts"] + e["dur"]) / 1e6
+            report.wall_s = max(report.wall_s, span_end)
+        return report
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TraceReport":
+        """Report directly off a live tracer's spans."""
+        return cls.from_events(tracer.to_events())
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def format_report(report: TraceReport) -> str:
+    """Render the headline splits as text."""
+    lines = ["=== trace report ==="]
+    lines.append(f"wall span              {_fmt_s(report.wall_s)}")
+    lines.append(
+        f"kd-tree build          {_fmt_s(report.kdtree_build_s)}  "
+        f"({report.kdtree_permille:.2f} permille of whole — Fig 5)"
+    )
+    lines.append(
+        f"driver time            {_fmt_s(report.driver_s)}  "
+        f"(top-level driver phases — Fig 6)"
+    )
+    lines.append(
+        f"executor time          {_fmt_s(report.executor_total_s)} total / "
+        f"{_fmt_s(report.executor_max_s)} max over "
+        f"{report.num_executor_spans} partition tasks"
+    )
+    if report.engine_task_s:
+        lines.append(f"engine task attempts   {_fmt_s(report.engine_task_s)}")
+    if report.shuffle_bytes_written or report.shuffle_bytes_read:
+        lines.append(
+            f"shuffle bytes          {report.shuffle_bytes_written} written / "
+            f"{report.shuffle_bytes_read} read"
+        )
+    if report.broadcast_bytes:
+        lines.append(f"broadcast bytes        {report.broadcast_bytes}")
+    ordered = [n for n in DRIVER_PHASE_ORDER if n in report.driver_phases]
+    ordered += [n for n in sorted(report.driver_phases) if n not in ordered]
+    if ordered:
+        lines.append("")
+        lines.append("driver phases:")
+        for name in ordered:
+            lines.append(f"  {name:<28} {_fmt_s(report.driver_phases[name])}")
+    if report.partials_by_partition:
+        lines.append("")
+        lines.append(
+            f"partial clusters: {report.total_partials} total "
+            f"across {len(report.partials_by_partition)} partitions"
+        )
+        for p in sorted(report.partials_by_partition):
+            lines.append(f"  partition {p:<4} {report.partials_by_partition[p]}")
+    if report.merge_stats:
+        lines.append("")
+        lines.append("merge: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(report.merge_stats.items())
+        ))
+    return "\n".join(lines)
+
+
+def render_timeline(events: list[dict[str, Any]], width: int = 60) -> str:
+    """ASCII timeline: one row per span, bars proportional to duration.
+
+    Rows are grouped by lane (``tid``) and ordered by start time;
+    nesting (from the exported ``depth`` arg) indents the span name.
+    """
+    xs = sorted(iter_complete_events(events), key=lambda e: (e["tid"] != "driver", str(e["tid"]), e["ts"]))
+    if not xs:
+        return "(no spans)"
+    t1 = max(e["ts"] + e["dur"] for e in xs)
+    t1 = max(t1, 1e-9)
+    name_w = min(
+        44,
+        max(
+            len("  " * int((e.get("args") or {}).get("depth", 0)) + e.get("name", "?"))
+            for e in xs
+        ),
+    )
+    lines = [f"timeline ({_fmt_s(t1 / 1e6)} total, {len(xs)} spans)"]
+    last_tid = None
+    for e in xs:
+        tid = str(e["tid"])
+        if tid != last_tid:
+            lines.append(f"-- lane {tid} --")
+            last_tid = tid
+        depth = int((e.get("args") or {}).get("depth", 0))
+        label = ("  " * depth + e.get("name", "?"))[:name_w]
+        lo = int(width * e["ts"] / t1)
+        hi = int(width * (e["ts"] + e["dur"]) / t1)
+        hi = max(hi, lo + 1)
+        bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+        lines.append(f"{label:<{name_w}} |{bar}| {_fmt_s(e['dur'] / 1e6)}")
+    return "\n".join(lines)

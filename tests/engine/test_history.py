@@ -1,7 +1,14 @@
 """History report from the event log."""
 
+import pytest
+
 from repro.engine import FaultPlan, SparkContext
-from repro.engine.history import format_history, load_history, summarize_events
+from repro.engine.history import (
+    HistoryError,
+    format_history,
+    load_history,
+    summarize_events,
+)
 
 
 class TestSummarize:
@@ -39,6 +46,16 @@ class TestSummarize:
             if s.shuffle_bytes_written
         ]
         assert shuffle_stages
+        # the reduce side of the shuffle charges its read volume too,
+        # and reads exactly what the map side wrote
+        read_stages = [
+            s for j in app.jobs.values() for s in j.stages.values()
+            if s.shuffle_bytes_read
+        ]
+        assert read_stages
+        total_written = sum(s.shuffle_bytes_written for s in shuffle_stages)
+        total_read = sum(s.shuffle_bytes_read for s in read_stages)
+        assert total_read == total_written
 
     def test_format_renders(self, tmp_path):
         path = str(tmp_path / "log.jsonl")
@@ -46,11 +63,75 @@ class TestSummarize:
         text = format_history(load_history(path))
         assert "application:" in text
         assert "stage 0:" in text
+        assert "shuffle bytes written" in text
+        assert "shuffle bytes read" in text
 
     def test_empty_events(self):
         app = summarize_events([])
         assert app.total_tasks == 0
         assert app.jobs == {}
+
+
+class TestEventLogLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        from repro.engine.event_log import EventLog
+
+        log = EventLog(str(tmp_path / "log.jsonl"))
+        assert not log.closed
+        log.emit("app_start", app_name="x", master="m")
+        log.close()
+        assert log.closed
+        log.close()  # second close is a no-op
+
+    def test_context_manager_closes(self, tmp_path):
+        from repro.engine.event_log import EventLog, load_event_log
+
+        path = str(tmp_path / "log.jsonl")
+        with EventLog(path) as log:
+            log.emit("app_start", app_name="x", master="m")
+        assert log.closed
+        assert load_event_log(path)[0]["event"] == "app_start"
+
+    def test_memory_only_log_reports_closed(self):
+        from repro.engine.event_log import EventLog
+
+        assert EventLog().closed  # no backing file to hold open
+
+    def test_spark_context_stop_closes_log(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        sc = SparkContext("simulated[2]", event_log_path=path)
+        sc.parallelize(range(4), 2).count()
+        assert not sc.event_log.closed
+        sc.stop()
+        assert sc.event_log.closed
+
+
+class TestHistoryErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(HistoryError, match="cannot read"):
+            load_history(str(tmp_path / "nope.jsonl"))
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(HistoryError, match="empty"):
+            load_history(str(path))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(HistoryError, match="not JSON-lines"):
+            load_history(str(path))
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(HistoryError, match="not a.*engine event"):
+            load_history(str(path))
+
+    def test_non_dict_event(self):
+        with pytest.raises(HistoryError):
+            summarize_events([42])  # type: ignore[list-item]
 
 
 class TestCliHistory:

@@ -42,6 +42,17 @@ class TestMakespan:
     def test_rejects_nonpositive_slots(self):
         with pytest.raises(ValueError):
             makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            makespan([1.0], -3)
+
+    def test_empty_durations_short_circuit_any_slots(self):
+        # No tasks means no wall-clock, even before the slots check.
+        assert makespan([], 1) == 0.0
+        assert makespan([], 0) == 0.0
+        assert makespan([], -1) == 0.0
+
+    def test_zero_durations(self):
+        assert makespan([0.0, 0.0], 1) == 0.0
 
 
 class TestStageMetrics:
@@ -101,3 +112,13 @@ class TestStopwatch:
         with sw:
             pass
         assert sw.elapsed >= first
+
+    def test_unused_stopwatch_is_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_exception_inside_block_still_accumulates(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw:
+                raise RuntimeError("boom")
+        assert sw.elapsed > 0.0

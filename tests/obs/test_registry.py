@@ -1,0 +1,167 @@
+"""MetricsRegistry instruments, exposition, and the metric bridges."""
+
+import math
+
+import pytest
+
+from repro.dbscan.partial import OpCounters
+from repro.engine.metrics import TaskMetrics
+from repro.obs import MetricsRegistry, parse_exposition
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    record_op_counters,
+    record_task_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("hits_total", labelnames=("kind",))
+        c.inc(kind="a")
+        c.inc(2, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 3
+        assert c.value(kind="b") == 1
+        assert c.value(kind="never") == 0
+
+    def test_rejects_negative_increment(self):
+        c = Counter("hits_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_rejects_wrong_labels(self):
+        c = Counter("hits_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.inc(other="x")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            Counter("0bad")
+        with pytest.raises(ValueError):
+            Counter("ok_total", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_and_negative(self):
+        g = Gauge("level")
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == 3
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        h = Histogram("lat_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+        text = h.expose()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help", ("k",))
+        b = reg.counter("x_total", "different help", ("k",))
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_labelnames_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("b",))
+
+    def test_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        assert reg.get("x_total") is c
+        assert reg.get("missing") is None
+
+    def test_exposition_parses_and_roundtrips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "Requests.", ("path",)).inc(3, path='/a"b\\c')
+        reg.gauge("temp", "Temperature.").set(21.5)
+        reg.histogram("dur_seconds", "Durations.", buckets=(1.0,)).observe(0.5)
+        path = str(tmp_path / "m.prom")
+        reg.write(path)
+        with open(path) as f:
+            text = f.read()
+        samples = parse_exposition(text)
+        assert samples["req_total"] == [({"path": '/a"b\\c'}, 3.0)]
+        assert samples["temp"] == [({}, 21.5)]
+        les = [lab["le"] for lab, _v in samples["dur_seconds_bucket"]]
+        assert les == ["1", "+Inf"]
+
+    def test_empty_exposition(self):
+        assert MetricsRegistry().exposition() == ""
+
+
+class TestParseExposition:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_exposition("# TYPE x counter\nx{unclosed 1\n")
+
+    def test_rejects_bad_type_line(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_exposition("# TYPE x wibble\n")
+
+    def test_rejects_untyped_sample(self):
+        with pytest.raises(ValueError, match="no preceding TYPE"):
+            parse_exposition("x_total 1\n")
+
+    def test_inf_value(self):
+        out = parse_exposition('# TYPE h histogram\nh_bucket{le="+Inf"} 2\n')
+        assert out["h_bucket"][0][1] == 2.0
+        assert out["h_bucket"][0][0] == {"le": "+Inf"}
+        assert math.isinf(
+            parse_exposition("# TYPE g gauge\ng +Inf\n")["g"][0][1]
+        )
+
+
+class TestBridges:
+    def test_record_task_metrics(self):
+        reg = MetricsRegistry()
+        record_task_metrics(reg, TaskMetrics(
+            0, 0, 0, run_time=0.2, succeeded=True,
+            shuffle_bytes_written=100, shuffle_bytes_read=40,
+        ))
+        record_task_metrics(reg, TaskMetrics(0, 1, 0, run_time=0.1, succeeded=False))
+        attempts = reg.get("repro_task_attempts_total")
+        assert attempts.value(stage=0, outcome="succeeded") == 1
+        assert attempts.value(stage=0, outcome="failed") == 1
+        hist = reg.get("repro_task_run_seconds")
+        assert hist.count(stage=0) == 2
+        assert reg.get("repro_shuffle_bytes_written_total").value(stage=0) == 100
+        assert reg.get("repro_shuffle_bytes_read_total").value(stage=0) == 40
+
+    def test_record_op_counters_skips_zero_cells(self):
+        reg = MetricsRegistry()
+        oc = OpCounters()
+        oc.range_queries = 7
+        oc.queue_adds = 3
+        record_op_counters(reg, oc, partition=2)
+        ops = reg.get("repro_dbscan_ops_total")
+        assert ops.value(op="range_queries", partition=2) == 7
+        assert ops.value(op="queue_adds", partition=2) == 3
+        assert ops.value(op="hashtable_puts", partition=2) == 0
+        # zero cells are not exposed at all
+        assert 'op="hashtable_puts"' not in reg.exposition()

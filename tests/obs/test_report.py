@@ -1,0 +1,114 @@
+"""TraceReport arithmetic: the Fig 5 / Fig 6 splits from synthetic spans."""
+
+import pytest
+
+from repro.obs import TraceReport, Tracer, format_report, render_timeline
+from repro.obs.report import _contains
+
+
+def _synthetic_tracer() -> Tracer:
+    """A hand-built trace with known arithmetic:
+
+    driver lane: kdtree_build 1s, setup 2s (containing broadcast 0.5s),
+    merge 1s; executor lanes: expansions of 3s/1s; engine lane: one
+    2.5s task attempt with shuffle bytes.
+    """
+    tr = Tracer()
+    tr.add_span("driver.kdtree_build", 1.0, cat="driver", start=0.0)
+    tr.add_span("driver.setup", 2.0, cat="driver", start=1.0)
+    tr.add_span("driver.broadcast", 0.5, cat="driver", start=1.5, nbytes=2048)
+    tr.add_span("executor.partition_expand", 3.0, cat="executor",
+                tid="executor-0", start=3.0, partition=0, partials=4)
+    tr.add_span("executor.partition_expand", 1.0, cat="executor",
+                tid="executor-1", start=3.0, partition=1, partials=6)
+    tr.add_span("task[s0,p0]", 2.5, cat="engine", tid="task-p0", start=3.0,
+                shuffle_bytes_written=100, shuffle_bytes_read=60)
+    tr.add_span("driver.merge", 1.0, cat="driver", start=6.0,
+                num_partials=10, num_merges=3)
+    return tr
+
+
+class TestContains:
+    def test_strict_containment_same_lane_only(self):
+        outer = {"tid": "driver", "ts": 0.0, "dur": 10.0}
+        inner = {"tid": "driver", "ts": 2.0, "dur": 3.0}
+        other_lane = {"tid": "exec", "ts": 2.0, "dur": 3.0}
+        assert _contains(outer, inner)
+        assert not _contains(inner, outer)
+        assert not _contains(outer, other_lane)
+        assert not _contains(outer, outer)  # identity is not containment
+
+
+class TestTraceReport:
+    def test_headline_splits(self):
+        r = TraceReport.from_tracer(_synthetic_tracer())
+        assert r.kdtree_build_s == pytest.approx(1.0)
+        # broadcast nests inside setup: counted once, not twice.
+        assert r.driver_s == pytest.approx(1.0 + 2.0 + 1.0)
+        assert r.driver_phases["driver.broadcast"] == pytest.approx(0.5)
+        assert r.executor_total_s == pytest.approx(4.0)
+        assert r.executor_max_s == pytest.approx(3.0)
+        assert r.num_executor_spans == 2
+        assert r.engine_task_s == pytest.approx(2.5)
+        assert r.wall_s == pytest.approx(7.0)
+
+    def test_fig5_fraction(self):
+        r = TraceReport.from_tracer(_synthetic_tracer())
+        # whole = build (1) + executor total (4) + merge (1)
+        assert r.whole_s == pytest.approx(6.0)
+        assert r.kdtree_fraction == pytest.approx(1.0 / 6.0)
+        assert r.kdtree_permille == pytest.approx(1000.0 / 6.0)
+
+    def test_fig6_partials_and_merge(self):
+        r = TraceReport.from_tracer(_synthetic_tracer())
+        assert r.partials_by_partition == {0: 4, 1: 6}
+        assert r.total_partials == 10
+        assert r.merge_stats["num_partials"] == 10
+        assert r.merge_stats["num_merges"] == 3
+        # bookkeeping labels never leak into merge stats
+        assert "cpu_ms" not in r.merge_stats
+        assert "depth" not in r.merge_stats
+
+    def test_byte_accounting(self):
+        r = TraceReport.from_tracer(_synthetic_tracer())
+        assert r.broadcast_bytes == 2048
+        assert r.shuffle_bytes_written == 100
+        assert r.shuffle_bytes_read == 60
+
+    def test_empty_trace(self):
+        r = TraceReport.from_events([])
+        assert r.wall_s == 0.0
+        assert r.whole_s == 0.0
+        assert r.kdtree_fraction == 0.0
+        assert r.total_partials == 0
+
+    def test_roundtrip_through_file_is_identical(self, tmp_path):
+        from repro.obs import load_trace
+
+        tr = _synthetic_tracer()
+        path = str(tmp_path / "t.jsonl")
+        tr.write_jsonl(path)
+        live = TraceReport.from_tracer(tr)
+        loaded = TraceReport.from_events(load_trace(path))
+        assert loaded == live
+
+
+class TestRendering:
+    def test_format_report_mentions_figures(self):
+        text = format_report(TraceReport.from_tracer(_synthetic_tracer()))
+        assert "Fig 5" in text and "Fig 6" in text
+        assert "driver.kdtree_build" in text
+        assert "partition 0" in text
+        assert "num_merges=3" in text
+
+    def test_render_timeline_lanes_and_bars(self):
+        events = _synthetic_tracer().to_events()
+        text = render_timeline(events, width=40)
+        assert "-- lane driver --" in text
+        assert "-- lane executor-0 --" in text
+        assert "#" in text
+        # driver lane renders first
+        assert text.index("lane driver") < text.index("lane executor-0")
+
+    def test_render_timeline_empty(self):
+        assert render_timeline([]) == "(no spans)"

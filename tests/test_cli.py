@@ -68,6 +68,92 @@ class TestCluster:
             main(["cluster", points_file, "--algorithm", "quantum"])
 
 
+class TestTelemetryFlags:
+    @pytest.fixture
+    def points_file(self, tmp_path):
+        from repro.data import generate_clustered, save_points
+
+        g = generate_clustered(n=400, num_clusters=3, cluster_std=8.0, seed=5)
+        path = tmp_path / "p.txt"
+        save_points(str(path), g.points)
+        return str(path)
+
+    def test_trace_out_writes_loadable_trace(self, points_file, tmp_path, capsys):
+        from repro.obs import TraceReport, load_trace
+
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["cluster", points_file, "--partitions", "2",
+                     "--trace-out", str(trace_path)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        events = load_trace(str(trace_path))
+        names = {e["name"] for e in events}
+        assert {"dbscan.fit", "driver.kdtree_build", "driver.merge",
+                "executor.partition_expand"} <= names
+        report = TraceReport.from_events(events)
+        assert report.num_executor_spans == 2
+        assert report.kdtree_build_s > 0
+
+    def test_metrics_out_writes_wellformed_exposition(
+        self, points_file, tmp_path, capsys
+    ):
+        from repro.obs import parse_exposition
+
+        prom_path = tmp_path / "m.prom"
+        assert main(["cluster", points_file, "--partitions", "2",
+                     "--metrics-out", str(prom_path)]) == 0
+        assert "metrics written" in capsys.readouterr().out
+        samples = parse_exposition(prom_path.read_text())
+        assert "repro_run_wall_seconds" in samples
+        assert "repro_clusters" in samples
+        assert "repro_dbscan_ops_total" in samples
+        assert "repro_task_attempts_total" in samples
+
+    def test_trace_subcommand_reports(self, points_file, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        main(["cluster", points_file, "--partitions", "2",
+              "--trace-out", str(trace_path)])
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace report" in out
+        assert "Fig 5" in out
+        assert "timeline" in out
+        assert main(["trace", str(trace_path), "--no-timeline"]) == 0
+        assert "timeline" not in capsys.readouterr().out
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_subcommand_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["trace", str(bad)]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_trace_subcommand_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", str(empty)]) == 1
+        assert "no events" in capsys.readouterr().err
+
+
+class TestHistoryErrors:
+    def test_missing_file_one_line_error(self, tmp_path, capsys):
+        assert main(["history", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        assert main(["history", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestScaling:
     def test_prints_sweep(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.02")
