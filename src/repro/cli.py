@@ -61,6 +61,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else NULL_TRACER
     registry = MetricsRegistry() if args.metrics_out else None
 
+    if args.sanitize and args.algorithm in ("sequential", "mapreduce"):
+        print(f"error: --sanitize requires a Spark-engine algorithm "
+              f"(spark, spatial, naive), not {args.algorithm!r}", file=sys.stderr)
+        return 1
+
     if args.algorithm == "sequential":
         from repro.dbscan import dbscan_sequential
 
@@ -74,7 +79,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                              num_partitions=args.partitions,
                              neighbor_mode=args.neighbor_mode,
                              tracer=tracer,
-                             metrics_registry=registry).fit(points)
+                             metrics_registry=registry,
+                             sanitize=args.sanitize).fit(points)
     elif args.algorithm == "spatial":
         from repro.dbscan import SpatialSparkDBSCAN
 
@@ -82,13 +88,15 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                                     num_partitions=args.partitions,
                                     neighbor_mode=args.neighbor_mode,
                                     tracer=tracer,
-                                    metrics_registry=registry).fit(points)
+                                    metrics_registry=registry,
+                                    sanitize=args.sanitize).fit(points)
     elif args.algorithm == "naive":
         from repro.dbscan import NaiveSparkDBSCAN
 
         result = NaiveSparkDBSCAN(args.eps, args.minpts,
                                   num_partitions=args.partitions,
-                                  tracer=tracer).fit(points)
+                                  tracer=tracer,
+                                  sanitize=args.sanitize).fit(points)
     else:  # mapreduce
         from repro.dbscan import MapReduceDBSCAN
 
@@ -182,6 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "Perfetto-loadable; render with `repro trace FILE`)")
     c.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write a Prometheus text exposition of run metrics")
+    c.add_argument("--sanitize", action="store_true",
+                   help="enable runtime sanitizers (broadcast write-barrier, "
+                        "accumulator read guard, race detector); Spark-engine "
+                        "algorithms only")
     c.set_defaults(func=cmd_cluster)
 
     s = sub.add_parser("scaling", help="Figure 8-style speedup sweep")
@@ -202,6 +214,25 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--no-timeline", action="store_true",
                     help="skip the ASCII timeline rendering")
     tr.set_defaults(func=cmd_trace)
+
+    li = sub.add_parser(
+        "lint",
+        help="static task-closure analysis (capture, determinism, "
+             "shuffle-free, picklability rules)",
+    )
+    li.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to scan (default: src)")
+    li.add_argument("--format", choices=("text", "json"), default="text",
+                    dest="fmt", help="report format")
+    li.add_argument("--baseline", default=None, metavar="FILE",
+                    help="baseline file grandfathering known findings "
+                         "(default: lint-baseline.json when it exists)")
+    li.add_argument("--write-baseline", action="store_true",
+                    help="write the current findings as the new baseline "
+                         "and exit 0")
+    li.add_argument("--rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    li.set_defaults(func=cmd_lint)
 
     return parser
 
@@ -237,6 +268,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(render_timeline(events))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the task-closure static analyzer; exit 1 on new findings."""
+    from repro.lint import (
+        DEFAULT_BASELINE,
+        BaselineError,
+        LintError,
+        rule_catalogue,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.rules:
+        for rid, summary in rule_catalogue().items():
+            print(f"{rid}  {summary}")
+        return 0
+    baseline = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    try:
+        report = run_lint(args.paths, baseline_path=baseline)
+    except (LintError, BaselineError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.write_baseline:
+        write_baseline(baseline, report.findings)
+        print(f"baseline written to {baseline} "
+              f"({len(report.findings)} finding(s))")
+        return 0
+    if args.fmt == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -50,6 +50,7 @@ class NaiveSparkDBSCAN:
         max_rounds: int = 100,
         leaf_size: int = 64,
         tracer: Tracer | None = None,
+        sanitize: bool = False,
     ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -62,6 +63,7 @@ class NaiveSparkDBSCAN:
         self.max_rounds = max_rounds
         self.leaf_size = leaf_size
         self.tracer = tracer or NULL_TRACER
+        self.sanitize = sanitize
 
     def fit(self, points: np.ndarray, sc: SparkContext | None = None) -> NaiveSparkResult:
         """Run the clustering over the given points."""
@@ -81,7 +83,10 @@ class NaiveSparkDBSCAN:
 
         own_sc = sc is None
         if own_sc:
-            sc = SparkContext(self.master, app_name="naive-spark-dbscan", tracer=tracer)
+            sc = SparkContext(
+                self.master, app_name="naive-spark-dbscan", tracer=tracer,
+                sanitize=self.sanitize,
+            )
         rounds = 0
         try:
             eps, minpts = self.eps, self.minpts

@@ -99,6 +99,7 @@ class SparkDBSCAN:
         neighbor_mode: str = "per_point",
         tracer: Tracer | None = None,
         metrics_registry=None,
+        sanitize: bool = False,
     ):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
@@ -125,6 +126,7 @@ class SparkDBSCAN:
         self.neighbor_mode = neighbor_mode
         self.tracer = tracer or NULL_TRACER
         self.metrics_registry = metrics_registry
+        self.sanitize = sanitize
 
     def fit(
         self,
@@ -164,6 +166,7 @@ class SparkDBSCAN:
                 sc = SparkContext(
                     self.master, app_name="spark-dbscan", tracer=tracer,
                     metrics_registry=self.metrics_registry,
+                    sanitize=self.sanitize,
                 )
             try:
                 partials = self._run_job(sc, points, tree, n, timings, tracer)

@@ -40,6 +40,14 @@ from .partitioner import (
     RangePartitioner,
 )
 from .rdd import RDD, StatCounter
+from .sanitize import (
+    AccumulatorReadError,
+    BroadcastMutationError,
+    Sanitizer,
+    SanitizerError,
+    TrackedLock,
+    deep_hash,
+)
 from .storage import BlockManager, StorageLevel
 from .streaming import DStream, StreamingContext
 
@@ -74,4 +82,10 @@ __all__ = [
     "ShuffleFetchError",
     "InjectedFault",
     "ContextStoppedError",
+    "SanitizerError",
+    "BroadcastMutationError",
+    "AccumulatorReadError",
+    "Sanitizer",
+    "TrackedLock",
+    "deep_hash",
 ]

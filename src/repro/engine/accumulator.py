@@ -66,7 +66,24 @@ class Accumulator(Generic[T]):
 
     @property
     def value(self) -> T:
-        """The current value."""
+        """The current value (driver-only; guarded under ``--sanitize``).
+
+        On the processes backend an executor read already fails (the
+        registry never ships).  On shared-memory backends it would
+        silently observe half-merged driver state — the sanitizer turns
+        that into a deterministic `AccumulatorReadError`.
+        """
+        from . import task_context
+
+        ctx = task_context.get()
+        if ctx is not None and ctx.sanitize:
+            from .sanitize import AccumulatorReadError
+
+            raise AccumulatorReadError(
+                f"accumulator {self.aid} read inside task [{ctx.describe()}]; "
+                "accumulators are write-only on executors — only the driver "
+                "may read .value"
+            )
         if self._registry is None:
             raise RuntimeError("accumulator value is only readable on the driver")
         return self._registry.current_value(self.aid)

@@ -23,6 +23,8 @@ from typing import Any, Generic, TypeVar
 
 T = TypeVar("T")
 
+_MISSING = object()
+
 # Process-local cache: broadcast id -> deserialized value.  In a worker
 # process this is populated on first access; in the driver process it is
 # populated at creation time.
@@ -46,10 +48,19 @@ class Broadcast(Generic[T]):
     resolves through the process-local cache.
     """
 
-    def __init__(self, bid: int, value: T, spill_dir: str | None):
+    def __init__(
+        self,
+        bid: int,
+        value: T,
+        spill_dir: str | None,
+        expected_hash: str | None = None,
+    ):
         self.bid = bid
         self._path: str | None = None
         self.nbytes = 0   # serialized size; 0 when never materialised to disk
+        # Structural hash taken at broadcast time when sanitizing; the
+        # write-barrier re-hashes against it at the end of every task.
+        self._expected_hash = expected_hash
         with _cache_lock:
             _local_cache[bid] = value
         if spill_dir is not None:
@@ -64,8 +75,10 @@ class Broadcast(Generic[T]):
     def value(self) -> T:
         """The current value."""
         with _cache_lock:
-            if self.bid in _local_cache:
-                return _local_cache[self.bid]
+            cached = _local_cache.get(self.bid, _MISSING)
+        if cached is not _MISSING:
+            self._note_access(cached)
+            return cached
         if self._path is None:
             raise RuntimeError(
                 f"broadcast {self.bid} not in cache and has no backing file"
@@ -75,7 +88,46 @@ class Broadcast(Generic[T]):
         with _cache_lock:
             _local_cache[self.bid] = value
             _load_counts[self.bid] = _load_counts.get(self.bid, 0) + 1
+        self._note_access(value)
         return value
+
+    def _note_access(self, value: T) -> None:
+        """Register this access with the running task's write-barrier.
+
+        Registration must happen on *every* access — including cache
+        hits — so a worker process reusing its cached value still gets
+        the value re-verified per task, not only when the file is first
+        materialized.
+        """
+        if getattr(self, "_expected_hash", None) is None:
+            return
+        from . import sanitize, task_context
+
+        ctx = task_context.get()
+        if ctx is not None and ctx.sanitize:
+            ctx.note_broadcast(self, value)
+            san = sanitize.current()
+            if san is not None:
+                san.record_access(
+                    f"broadcast:{self.bid}",
+                    write=False,
+                    locks=("broadcast._cache_lock",),
+                )
+
+    def verify(self, value: T, task: str) -> None:
+        """Re-hash ``value`` against the broadcast-time hash.
+
+        Raises `BroadcastMutationError` naming ``task`` on mismatch.
+        """
+        if getattr(self, "_expected_hash", None) is None:
+            return
+        from .sanitize import BroadcastMutationError, deep_hash
+
+        if deep_hash(value) != self._expected_hash:
+            raise BroadcastMutationError(
+                f"broadcast {self.bid} was mutated by task [{task}]; "
+                "broadcast values are read-only — copy before modifying"
+            )
 
     def unpersist(self) -> None:
         """Drop the cached value in this process (and the backing file)."""
@@ -87,19 +139,30 @@ class Broadcast(Generic[T]):
     def __getstate__(self) -> dict[str, Any]:
         # Never ship the value itself through task serialization: that is
         # exactly the anti-pattern broadcast variables exist to avoid.
-        return {"bid": self.bid, "_path": self._path}
+        # The expected hash *must* travel with the handle: worker
+        # processes have no driver sanitizer, so the write-barrier there
+        # rests entirely on the hash baked into the handle.
+        return {
+            "bid": self.bid,
+            "_path": self._path,
+            "nbytes": self.nbytes,
+            "_expected_hash": self._expected_hash,
+        }
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.bid = state["bid"]
         self._path = state["_path"]
+        self.nbytes = state.get("nbytes", 0)
+        self._expected_hash = state.get("_expected_hash")
 
 
 class BroadcastManager:
     """Driver-side factory handing out monotonically-numbered broadcasts."""
 
-    def __init__(self, spill_dir: str | None):
+    def __init__(self, spill_dir: str | None, compute_hashes: bool = False):
         self._next_id = 0
         self._spill_dir = spill_dir
+        self._compute_hashes = compute_hashes
         self._lock = threading.Lock()
         self._issued: list[Broadcast[Any]] = []
 
@@ -108,7 +171,12 @@ class BroadcastManager:
         with self._lock:
             bid = self._next_id
             self._next_id += 1
-        b = Broadcast(bid, value, self._spill_dir)
+        expected = None
+        if self._compute_hashes:
+            from .sanitize import deep_hash
+
+            expected = deep_hash(value)
+        b = Broadcast(bid, value, self._spill_dir, expected_hash=expected)
         self._issued.append(b)
         return b
 

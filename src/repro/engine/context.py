@@ -31,6 +31,9 @@ from .event_log import EventLog
 from .fault import FaultPlan
 from .metrics import JobMetrics
 from .rdd import RDD, ParallelCollectionRDD, SourceRDD
+from .sanitize import Sanitizer
+from .sanitize import activate as sanitizer_activate
+from .sanitize import deactivate as sanitizer_deactivate
 from .shuffle import ShuffleManager
 from .sources import LocalTextFileSource
 from .storage import BlockManager
@@ -52,18 +55,21 @@ class SparkContext:
         speculation_multiplier: float = 2.0,
         tracer: Tracer = NULL_TRACER,
         metrics_registry: Any = None,
+        sanitize: bool = False,
     ):
         self.master = master
         self.app_name = app_name
         self.tracer = tracer
         self.metrics_registry = metrics_registry
+        self.sanitize = sanitize
         self.mode, self.default_parallelism = parse_master(master)
         self._own_spill_dir = spill_dir is None
         self.spill_dir = spill_dir or tempfile.mkdtemp(prefix="minispark-")
         self.block_manager = BlockManager(spill_dir=self.spill_dir)
         self.shuffle_manager = ShuffleManager(self.spill_dir)
         self.broadcast_manager = BroadcastManager(
-            self.spill_dir if self.mode == "processes" else None
+            self.spill_dir if self.mode == "processes" else None,
+            compute_hashes=sanitize,
         )
         self.accumulators = AccumulatorRegistry()
         self.backend = make_backend(master, self.block_manager)
@@ -80,10 +86,17 @@ class SparkContext:
             self.accumulators,
             tracer=tracer,
             metrics_registry=metrics_registry,
+            sanitize=sanitize,
         )
         self.fault_plan = FaultPlan()  # injected faults/stragglers for tests
         self.event_log = EventLog(event_log_path)
-        self.event_log.emit("app_start", app_name=app_name, master=master)
+        self.event_log.emit(
+            "app_start", app_name=app_name, master=master, sanitize=sanitize
+        )
+        self.sanitizer: Sanitizer | None = None
+        if sanitize:
+            self.sanitizer = Sanitizer(tracer=tracer, metrics_registry=metrics_registry)
+            sanitizer_activate(self.sanitizer)
         self._stopped = False
 
     # -- RDD creation ---------------------------------------------------------
@@ -152,6 +165,13 @@ class SparkContext:
         if self._stopped:
             return
         self._stopped = True
+        if self.sanitizer is not None:
+            findings = self.sanitizer.finalize()
+            self.event_log.emit(
+                "sanitizer_report",
+                findings=[f.render() for f in findings],
+            )
+            sanitizer_deactivate(self.sanitizer)
         self.event_log.emit("app_end", app_name=self.app_name)
         self.event_log.close()
         self.backend.shutdown()

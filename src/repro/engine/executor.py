@@ -40,6 +40,7 @@ class Task:
     bucket_dir: str = ""
     shuffle_inputs: dict[tuple[int, int], list[str]] = field(default_factory=dict)
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    sanitize: bool = False
 
 
 @dataclass
@@ -54,12 +55,18 @@ class TaskOutcome:
     metrics: TaskMetrics | None = None
     acc_updates: dict[int, Any] = field(default_factory=dict)
     map_output_paths: dict[int, str] = field(default_factory=dict)
+    # Sanitizer violations are not retryable: the scheduler aborts the
+    # job immediately, re-raising the error type named here.
+    fatal: bool = False
+    error_type: str = ""
 
 
 def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
     """Execute one task attempt; never raises — failures become outcomes."""
     metrics = TaskMetrics(task.stage_id, task.partition, task.attempt)
-    ctx = task_context.TaskContext(task.stage_id, task.partition, task.attempt, metrics)
+    ctx = task_context.TaskContext(
+        task.stage_id, task.partition, task.attempt, metrics, sanitize=task.sanitize
+    )
     start = time.perf_counter()
     try:
         with task_context.activate(ctx):
@@ -87,6 +94,9 @@ def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
                 value = None
             else:  # pragma: no cover - guarded by construction
                 raise ValueError(f"unknown task kind {task.kind!r}")
+            # Broadcast write-barrier: re-hash every broadcast this task
+            # touched, *inside* the context so a mutation fails the task.
+            ctx.verify_broadcasts()
         metrics.run_time = time.perf_counter() - start
         metrics.succeeded = True
         return TaskOutcome(
@@ -102,6 +112,8 @@ def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
     except BaseException as exc:  # noqa: BLE001 - report, scheduler decides
         metrics.run_time = time.perf_counter() - start
         err = TaskError(task.stage_id, task.partition, task.attempt, exc)
+        from .sanitize import SanitizerError
+
         return TaskOutcome(
             task.stage_id,
             task.partition,
@@ -109,6 +121,8 @@ def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
             succeeded=False,
             error=str(err),
             metrics=metrics,
+            fatal=isinstance(exc, SanitizerError),
+            error_type=type(exc).__name__,
         )
 
 

@@ -27,6 +27,10 @@ class TaskContext:
     metrics: TaskMetrics
     acc_updates: dict[int, Any] = field(default_factory=dict)
     _acc_params: dict[int, AccumulatorParam[Any]] = field(default_factory=dict)
+    sanitize: bool = False
+    # bid -> (broadcast handle, the value object this task observed);
+    # re-verified against the broadcast-time hash at task end.
+    _broadcasts: dict[int, tuple[Any, Any]] = field(default_factory=dict)
 
     def accumulate(self, aid: int, param: AccumulatorParam[Any], term: Any) -> None:
         """Buffer an accumulator update for this task."""
@@ -35,6 +39,22 @@ class TaskContext:
         else:
             self.acc_updates[aid] = param.add(param.zero(), term)
             self._acc_params[aid] = param
+
+    def describe(self) -> str:
+        """Task identity for sanitizer messages."""
+        return (
+            f"stage={self.stage_id} partition={self.partition} "
+            f"attempt={self.attempt}"
+        )
+
+    def note_broadcast(self, broadcast: Any, value: Any) -> None:
+        """Remember a broadcast touched by this task (write-barrier)."""
+        self._broadcasts.setdefault(broadcast.bid, (broadcast, value))
+
+    def verify_broadcasts(self) -> None:
+        """Re-hash every touched broadcast; raise on mutation."""
+        for broadcast, value in self._broadcasts.values():
+            broadcast.verify(value, self.describe())
 
 
 def get() -> TaskContext | None:

@@ -21,10 +21,35 @@ import statistics
 from typing import Callable
 
 from ..obs.spans import NULL_TRACER, Tracer
+from . import sanitize
 from .backends import Backend
 from .errors import JobAbortedError
 from .executor import Task, TaskOutcome
 from .fault import FaultPlan
+
+
+def _raise_sanitizer(outcome: TaskOutcome) -> None:
+    """Re-raise a fatal sanitizer violation reported by a task.
+
+    Sanitizer errors are not retryable (a mutated broadcast stays
+    mutated), so the job aborts on the first one instead of burning the
+    retry budget.  The original error type is reconstructed from the
+    outcome so callers can catch e.g. `BroadcastMutationError` even when
+    the task ran in a worker process.
+    """
+    san = sanitize.current()
+    if san is not None:
+        san.report(
+            "violation",
+            outcome.error,
+            error_type=outcome.error_type,
+            stage_id=outcome.stage_id,
+            partition=outcome.partition,
+        )
+    exc_type = sanitize.FATAL_ERROR_TYPES.get(
+        outcome.error_type, sanitize.SanitizerError
+    )
+    raise exc_type(outcome.error)
 
 
 class TaskScheduler:
@@ -73,6 +98,8 @@ class TaskScheduler:
                     # success is dropped here.
                     completed.setdefault(outcome.partition, outcome)
                 else:
+                    if outcome.fatal:
+                        _raise_sanitizer(outcome)
                     next_attempt = outcome.attempt + 1
                     if next_attempt >= self.max_task_failures:
                         raise JobAbortedError(
@@ -113,6 +140,8 @@ class TaskScheduler:
         respawn: list[Task] = []
         for o in outcomes:
             if not o.succeeded:
+                if o.fatal:
+                    _raise_sanitizer(o)
                 # Same retry budget as the main loop: requeueing here
                 # without the check would grant failed tasks one extra
                 # attempt whenever speculation is on.
@@ -151,6 +180,8 @@ class TaskScheduler:
         for o2 in self.backend.run(respawn) if respawn else []:
             if on_outcome is not None:
                 on_outcome(o2)
+            if not o2.succeeded and o2.fatal:
+                _raise_sanitizer(o2)
             if o2.succeeded:
                 prev = completed[o2.partition]
                 if o2.metrics and prev.metrics and o2.metrics.run_time < prev.metrics.run_time:

@@ -1,0 +1,44 @@
+"""Task-closure static analysis (``repro lint``).
+
+Machine-checks the invariants the engine's correctness story rests on
+(DESIGN.md §8): task closures must not capture driver state or
+unpicklable objects, task-reachable code must be deterministic, and the
+paper-pipeline modules must stay shuffle-free.  Violations are
+`Finding`s; a committed baseline (`lint-baseline.json`) grandfathers
+known ones, and CI fails on anything new.
+
+    from repro.lint import run_lint
+    report = run_lint(["src"], baseline_path="lint-baseline.json")
+    assert report.clean, report.render_text()
+"""
+
+from .analyzer import LintError, discover_files, lint_file, run_lint
+from .baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from .closures import ModuleAnalysis, TaskFunction
+from .findings import Finding, LintReport
+from .rules import RULES, rule_catalogue, run_rules
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "BaselineError",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "ModuleAnalysis",
+    "RULES",
+    "TaskFunction",
+    "discover_files",
+    "lint_file",
+    "load_baseline",
+    "new_findings",
+    "rule_catalogue",
+    "run_lint",
+    "run_rules",
+    "write_baseline",
+]

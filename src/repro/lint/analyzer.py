@@ -1,0 +1,100 @@
+"""Driving the linter: file discovery, parsing, pragmas, reports.
+
+`repro lint [paths]` funnels through `run_lint`, which scans ``.py``
+files, runs the rule catalogue (`repro.lint.rules`) over each module's
+closure analysis, drops findings covered by inline allow pragmas, and
+diffs the rest against the committed baseline.
+
+Allowlist pragma — on the finding's line or the line directly above::
+
+    t0 = time.time()  # lint: allow[DET001] driver-side wall clock
+
+Multiple rules: ``# lint: allow[DET001,CAP001]``.  Pragmas are the
+intended channel for *intentional* exceptions; whole-rule suppression
+is deliberately not offered.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from .baseline import load_baseline, new_findings
+from .closures import ModuleAnalysis
+from .findings import Finding, LintReport
+from .rules import run_rules
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+class LintError(ValueError):
+    """A path cannot be scanned (missing file, unreadable, bad syntax)."""
+
+
+def discover_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if d not in ("__pycache__",) and not d.endswith(".egg-info")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            raise LintError(f"no such file or directory: {path!r}")
+    return out
+
+
+def _allowed_rules(source_lines: list[str], line: int) -> set[str]:
+    """Rules allow-listed for a 1-based line (same line or the one above)."""
+    out: set[str] = set()
+    for lineno in (line, line - 1):
+        if 1 <= lineno <= len(source_lines):
+            m = _PRAGMA_RE.search(source_lines[lineno - 1])
+            if m:
+                out.update(r.strip() for r in m.group(1).split(","))
+    return out
+
+
+def lint_file(path: str) -> list[Finding]:
+    """Lint one file; pragma-allowed findings are dropped."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+    except OSError as exc:
+        raise LintError(f"cannot read {path!r}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"syntax error in {path!r}: {exc.msg} (line {exc.lineno})") from exc
+    norm = path.replace(os.sep, "/")
+    analysis = ModuleAnalysis(norm, source, tree)
+    findings = run_rules(analysis)
+    lines = source.splitlines()
+    kept = [f for f in findings if f.rule not in _allowed_rules(lines, f.line)]
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    return kept
+
+
+def run_lint(paths: list[str], baseline_path: str | None = None) -> LintReport:
+    """Lint all paths; diff against a baseline when one is given."""
+    files = discover_files(paths)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    report = LintReport(findings=findings, files_scanned=len(files))
+    if baseline_path is not None and os.path.exists(baseline_path):
+        baseline = load_baseline(baseline_path)
+        report.baseline_path = baseline_path
+        report.new = new_findings(findings, baseline)
+    else:
+        report.new = list(findings)
+    return report

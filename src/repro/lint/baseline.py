@@ -1,0 +1,83 @@
+"""Committed lint baselines: grandfather known findings, fail on new ones.
+
+The baseline file maps finding fingerprints (line-number free, see
+`Finding.fingerprint`) to occurrence counts.  A run is *clean* when no
+fingerprint occurs more often than the baseline allows — so fixing a
+finding never breaks the gate, while introducing one (even a second
+copy of a grandfathered one) does.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or malformed."""
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    """Read a baseline file into {fingerprint: allowed_count}."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path!r} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    out: dict[str, int] = {}
+    for entry in data.get("findings", []):
+        fp = entry.get("fingerprint")
+        if not isinstance(fp, str):
+            raise BaselineError(f"baseline {path!r} entry missing fingerprint")
+        out[fp] = out.get(fp, 0) + int(entry.get("count", 1))
+    return out
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    """Persist the given findings as the new baseline."""
+    by_fp: dict[str, dict] = {}
+    for f in findings:
+        entry = by_fp.setdefault(
+            f.fingerprint,
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "message": f.message,
+                "count": 0,
+            },
+        )
+        entry["count"] += 1
+    data = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            by_fp.values(), key=lambda e: (e["path"], e["rule"], e["fingerprint"])
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+
+def new_findings(findings: list[Finding], baseline: dict[str, int]) -> list[Finding]:
+    """Findings exceeding their baseline allowance, in scan order."""
+    seen: Counter[str] = Counter()
+    out: list[Finding] = []
+    for f in findings:
+        seen[f.fingerprint] += 1
+        if seen[f.fingerprint] > baseline.get(f.fingerprint, 0):
+            out.append(f)
+    return out

@@ -1,0 +1,93 @@
+"""Lint findings: the unit of output of the task-closure analyzer.
+
+A `Finding` pins one rule violation to a file/line/symbol.  Its
+``fingerprint`` deliberately excludes line numbers so that committed
+baselines survive unrelated edits above the finding; duplicates of the
+same fingerprint are counted, not collapsed (see `repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    rule: str          # rule id, e.g. "CAP001"
+    path: str          # posix-style path as scanned
+    line: int
+    col: int
+    message: str       # human-readable, line-number free (baseline-stable)
+    symbol: str = ""   # enclosing function/scope, "" for module level
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (no line numbers)."""
+        raw = f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
+        return hashlib.sha1(raw.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One text line: ``path:line:col RULE message [in symbol]``."""
+        where = f" [in {self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}{where}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (includes the fingerprint)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings of a run plus the subset new vs. the baseline."""
+
+    findings: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    baseline_path: str | None = None
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no finding is new relative to the baseline."""
+        return not self.new
+
+    def render_text(self) -> str:
+        """Human-readable report; new findings are marked."""
+        lines = []
+        new_fps = {f.fingerprint for f in self.new}
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+            mark = "NEW " if f.fingerprint in new_fps else "    "
+            lines.append(mark + f.render())
+        summary = ", ".join(f"{r}={n}" for r, n in sorted(counts.items())) or "none"
+        lines.append(
+            f"{len(self.findings)} finding(s) ({summary}) in "
+            f"{self.files_scanned} file(s); {len(self.new)} new vs baseline"
+            + (f" {self.baseline_path}" if self.baseline_path else " (no baseline)")
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report for CI."""
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.findings],
+                "new": [f.to_dict() for f in self.new],
+                "baseline": self.baseline_path,
+                "files_scanned": self.files_scanned,
+                "clean": self.clean,
+            },
+            indent=2,
+        )

@@ -1,0 +1,315 @@
+"""The rule catalogue of the task-closure linter.
+
+Each rule checks one invariant the engine's retry/speculation/shipping
+machinery relies on (DESIGN.md §8):
+
+- ``CAP001`` capture-driver-state — functions passed to RDD operations
+  must not capture driver-side engine objects (`SparkContext`, `RDD`,
+  `EventLog`, block/shuffle managers).  Tasks are retried, speculated,
+  and (on the processes backend) cloudpickled; captured driver state
+  either fails to serialize or silently diverges per executor.
+- ``PCK001`` capture-unpicklable — task closures must not capture
+  locks, open file handles, threads, or sockets: the processes backend
+  cloudpickles closures, and these types do not survive the trip.
+- ``DET001`` nondeterminism — no wall-clock (`time.time`) or unseeded
+  RNG (`random.random`, `np.random.*`, zero-arg `random.Random()` /
+  `default_rng()`) reachable from task code.  A retried or speculative
+  attempt must produce byte-identical output, or label-equivalence
+  tests are meaningless.  Driver-only uses are not flagged; intentional
+  exceptions carry a ``# lint: allow[DET001]`` pragma.
+- ``SHF001`` shuffle-free — the paper-pipeline executor path
+  (`dbscan/spark_job.py`, `dbscan/spatial.py`, `dbscan/partial.py`)
+  must not import the shuffle subsystem or call wide-dependency RDD
+  APIs: zero shuffles is the paper's headline property (Algorithms 3–4).
+
+Rules only fire on *positively identified* hazards — an unknown type
+never triggers a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from .closures import ModuleAnalysis, _calls_in
+from .findings import Finding
+
+# Captured types that are driver state (semantic hazard).
+DRIVER_STATE_TYPES = {
+    "SparkContext": "the SparkContext (driver-only: owns the backend and scheduler)",
+    "StreamingContext": "the StreamingContext (driver-only)",
+    "RDD": "an RDD (lineage handles live on the driver; ship data, not plans)",
+    "EventLog": "the EventLog (driver-side append-only log)",
+    "BlockManager": "a BlockManager (executor-local storage, never shipped)",
+    "ShuffleManager": "the ShuffleManager (driver-side shuffle bookkeeping)",
+}
+
+# Captured types cloudpickle cannot ship to worker processes.
+UNPICKLABLE_TYPES = {
+    "Lock": "a lock/condition/semaphore (unpicklable; invisible to other processes)",
+    "File": "an open file handle (unpicklable; fd is process-local)",
+    "Thread": "a thread object (unpicklable)",
+    "Socket": "a socket (unpicklable; fd is process-local)",
+}
+
+# Fully-resolved call targets that are nondeterministic per attempt.
+NONDET_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.getrandbits",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.randint",
+    "numpy.random.random",
+    "numpy.random.random_sample",
+    "numpy.random.choice",
+    "numpy.random.shuffle",
+    "numpy.random.permutation",
+    "numpy.random.normal",
+    "numpy.random.uniform",
+    "numpy.random.seed",
+}
+
+# Callables that are fine *seeded* but nondeterministic with no argument.
+SEEDABLE_CTORS = {"random.Random", "numpy.random.default_rng"}
+
+# Executor-path modules under the shuffle-free contract (path suffixes).
+SHUFFLE_FREE_MODULES = (
+    "dbscan/spark_job.py",
+    "dbscan/spatial.py",
+    "dbscan/partial.py",
+)
+
+# RDD APIs introducing a wide dependency (a shuffle stage).
+WIDE_DEP_APIS = {
+    "partition_by",
+    "group_by_key",
+    "reduce_by_key",
+    "distinct",
+    "sort_by",
+    "join",
+    "cogroup",
+    "left_outer_join",
+    "subtract_by_key",
+    "count_by_key",
+}
+
+
+RuleFn = Callable[[ModuleAnalysis], list[Finding]]
+RULES: dict[str, tuple[str, RuleFn]] = {}
+
+
+def rule(rule_id: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+    """Register a rule implementation under its id."""
+
+    def deco(fn: RuleFn) -> RuleFn:
+        RULES[rule_id] = (summary, fn)
+        return fn
+
+    return deco
+
+
+def _task_scopes(analysis: ModuleAnalysis):
+    """(task fn node, scope, via-op) without duplicates."""
+    seen: set[int] = set()
+    for tf in analysis.task_functions:
+        if id(tf.node) in seen:
+            continue
+        seen.add(id(tf.node))
+        yield tf
+
+
+@rule("CAP001", "task closure captures driver-side engine state")
+def check_driver_state_capture(analysis: ModuleAnalysis) -> list[Finding]:
+    out: list[Finding] = []
+    for tf in _task_scopes(analysis):
+        for name, node, binder in analysis.captures(tf.node):
+            tag = binder.types.get(name)
+            if tag in DRIVER_STATE_TYPES:
+                out.append(
+                    Finding(
+                        rule="CAP001",
+                        path=analysis.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"task function passed to .{tf.via}() captures "
+                            f"{name!r}, {DRIVER_STATE_TYPES[tag]}"
+                        ),
+                        symbol=tf.scope.name,
+                    )
+                )
+    return out
+
+
+@rule("PCK001", "task closure captures an unpicklable object")
+def check_unpicklable_capture(analysis: ModuleAnalysis) -> list[Finding]:
+    out: list[Finding] = []
+    for tf in _task_scopes(analysis):
+        for name, node, binder in analysis.captures(tf.node):
+            tag = binder.types.get(name)
+            if tag in UNPICKLABLE_TYPES:
+                out.append(
+                    Finding(
+                        rule="PCK001",
+                        path=analysis.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"task function passed to .{tf.via}() captures "
+                            f"{name!r}, {UNPICKLABLE_TYPES[tag]}; the processes "
+                            "backend cannot cloudpickle it"
+                        ),
+                        symbol=tf.scope.name,
+                    )
+                )
+    return out
+
+
+@rule("DET001", "nondeterministic call reachable from task code")
+def check_task_determinism(analysis: ModuleAnalysis) -> list[Finding]:
+    out: list[Finding] = []
+    reported: set[tuple[int, int]] = set()
+    for func_node in analysis.task_reachable:
+        scope = analysis.scope_of(func_node)
+        for call in _calls_in(func_node):
+            dotted = analysis.resolve_dotted(call.func)
+            if dotted is None:
+                continue
+            key = (call.lineno, call.col_offset)
+            if key in reported:
+                continue
+            if dotted in NONDET_CALLS:
+                reported.add(key)
+                out.append(
+                    Finding(
+                        rule="DET001",
+                        path=analysis.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"{dotted}() is nondeterministic per task attempt; "
+                            "retries/speculation would diverge (seed an RNG from "
+                            "the partition id, or move this to the driver)"
+                        ),
+                        symbol=scope.name,
+                    )
+                )
+            elif dotted in SEEDABLE_CTORS and not call.args and not call.keywords:
+                reported.add(key)
+                out.append(
+                    Finding(
+                        rule="DET001",
+                        path=analysis.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"{dotted}() without a seed is nondeterministic per "
+                            "task attempt; derive the seed from the partition id"
+                        ),
+                        symbol=scope.name,
+                    )
+                )
+    return out
+
+
+@rule("SHF001", "shuffle machinery referenced from a shuffle-free module")
+def check_shuffle_free(analysis: ModuleAnalysis) -> list[Finding]:
+    path = analysis.path.replace("\\", "/")
+    if not any(path.endswith(suffix) for suffix in SHUFFLE_FREE_MODULES):
+        return []
+    out: list[Finding] = []
+    for node in ast.walk(analysis.tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.split(".")[-1] == "shuffle":
+                out.append(
+                    Finding(
+                        rule="SHF001",
+                        path=analysis.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"import from {module!r}: the paper pipeline is "
+                            "shuffle-free by construction (Algorithms 3-4); no "
+                            "shuffle code may enter this module"
+                        ),
+                    )
+                )
+            for alias in node.names:
+                if alias.name == "shuffle":
+                    out.append(
+                        Finding(
+                            rule="SHF001",
+                            path=analysis.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                "imports the shuffle module: the paper pipeline "
+                                "is shuffle-free by construction (Algorithms 3-4)"
+                            ),
+                        )
+                    )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[-1] == "shuffle":
+                    out.append(
+                        Finding(
+                            rule="SHF001",
+                            path=analysis.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"import {alias.name!r}: the paper pipeline is "
+                                "shuffle-free by construction (Algorithms 3-4)"
+                            ),
+                        )
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in WIDE_DEP_APIS:
+                out.append(
+                    Finding(
+                        rule="SHF001",
+                        path=analysis.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f".{node.func.attr}() introduces a wide dependency "
+                            "(a shuffle stage); the paper pipeline must stay "
+                            "shuffle-free"
+                        ),
+                    )
+                )
+    return out
+
+
+def run_rules(analysis: ModuleAnalysis) -> list[Finding]:
+    """Run every registered rule over one module analysis."""
+    out: list[Finding] = []
+    for _summary, fn in RULES.values():
+        out.extend(fn(analysis))
+    return out
+
+
+def rule_catalogue() -> dict[str, str]:
+    """{rule id: one-line summary} for docs and ``--list-rules``."""
+    return {rid: summary for rid, (summary, _fn) in RULES.items()}
