@@ -4,6 +4,7 @@
     python -m repro generate c10k -o points.txt
     python -m repro cluster points.txt --eps 25 --minpts 5 --partitions 8
     python -m repro cluster r10k --algorithm mapreduce
+    python -m repro run c10k --checkpoint-dir ckpt --resume
     python -m repro scaling r10k --cores 2 4 8
 """
 
@@ -14,7 +15,8 @@ import sys
 
 import numpy as np
 
-from repro.dbscan.partial import NEIGHBOR_MODES
+from repro.dbscan.merge import MERGE_STRATEGIES
+from repro.dbscan.partial import NEIGHBOR_MODES, SEED_POLICIES
 
 ALGORITHMS = ("spark", "sequential", "naive", "mapreduce", "spatial")
 
@@ -131,6 +133,85 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a pipeline plan directly, with per-stage checkpoint/resume."""
+    from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+    from repro.pipeline import PipelineCrash, PipelineRunner, RunConfig, build_plan
+
+    if args.sanitize and args.algorithm in ("sequential", "mapreduce"):
+        print(f"error: --sanitize requires a Spark-engine algorithm "
+              f"(spark, spatial, naive), not {args.algorithm!r}", file=sys.stderr)
+        return 1
+
+    points = _load_points(args.source)
+    try:
+        config = RunConfig(
+            eps=args.eps,
+            minpts=args.minpts,
+            algorithm=args.algorithm,
+            num_partitions=args.partitions,
+            seed_policy=args.seed_policy,
+            merge_strategy=args.merge_strategy,
+            max_neighbors=args.max_neighbors,
+            min_cluster_size=args.min_cluster_size,
+            leaf_size=args.leaf_size,
+            neighbor_mode=args.neighbor_mode,
+            impl=args.impl,
+            max_rounds=args.max_rounds,
+            sanitize=args.sanitize,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    tracer = Tracer() if args.trace_out else NULL_TRACER
+    registry = MetricsRegistry() if args.metrics_out else None
+    plan = build_plan(config)
+    runner = PipelineRunner(
+        plan, config, tracer=tracer, metrics_registry=registry,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        fail_after=args.fail_after,
+    )
+    print(f"{points.shape[0]} points, d={points.shape[1]}; "
+          f"plan={plan.name} ({' -> '.join(plan.stage_names())})")
+    if args.checkpoint_dir:
+        mode = "resume" if args.resume else "cold"
+        print(f"checkpoints: {args.checkpoint_dir} ({mode}, "
+              f"run key {config.content_hash(points)[:16]}…)")
+    try:
+        state = runner.run(points)
+    except PipelineCrash as exc:
+        print(f"pipeline crashed: {exc}", file=sys.stderr)
+        print("re-run with --resume to continue from the last checkpoint",
+              file=sys.stderr)
+        return 3
+
+    for name in plan.stage_names():
+        print(f"  {name:<16} {state.stage_status.get(name, '?')}")
+    labels = state.labels
+    num_clusters = int(np.unique(labels[labels >= 0]).size)
+    num_noise = int(np.count_nonzero(labels == -1))
+    t = state.timings
+    print(f"{num_clusters} clusters, {num_noise} noise points out of "
+          f"{labels.shape[0]} (wall {t.wall:.3f}s)")
+    if args.labels_out:
+        np.savetxt(args.labels_out, labels, fmt="%d")
+        print(f"labels written to {args.labels_out}")
+    if args.trace_out:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans; render with `repro trace`)")
+    if registry is not None:
+        registry.gauge(
+            "repro_run_wall_seconds", "End-to-end wall clock of the run."
+        ).set(t.wall)
+        registry.gauge("repro_clusters", "Clusters found.").set(num_clusters)
+        registry.gauge("repro_noise_points", "Noise points.").set(num_noise)
+        registry.write(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
 def cmd_scaling(args: argparse.Namespace) -> int:
     """Run a Figure 8-style core sweep and print speedups."""
     from repro.dbscan import SparkDBSCAN
@@ -195,6 +276,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "accumulator read guard, race detector); Spark-engine "
                         "algorithms only")
     c.set_defaults(func=cmd_cluster)
+
+    r = sub.add_parser(
+        "run",
+        help="run a pipeline plan with per-stage checkpoint/resume",
+        description="Run one DBSCAN pipeline plan (see DESIGN.md §9). "
+                    "With --checkpoint-dir, checkpointable stages persist "
+                    "their outputs keyed by the config+data content hash; "
+                    "--resume restores completed stages instead of "
+                    "re-running them.",
+    )
+    r.add_argument("source")
+    r.add_argument("--eps", type=float, default=25.0)
+    r.add_argument("--minpts", type=int, default=5)
+    r.add_argument("--partitions", type=int, default=4)
+    r.add_argument("--algorithm", choices=ALGORITHMS, default="spark")
+    r.add_argument("--seed-policy", choices=SEED_POLICIES, default="all")
+    r.add_argument("--merge-strategy", choices=MERGE_STRATEGIES,
+                   default="union_find")
+    r.add_argument("--max-neighbors", type=int, default=None)
+    r.add_argument("--min-cluster-size", type=int, default=0)
+    r.add_argument("--leaf-size", type=int, default=64)
+    r.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES, default="per_point")
+    r.add_argument("--impl", choices=("array", "hashtable"), default="array",
+                   help="sequential-only point-state implementation")
+    r.add_argument("--max-rounds", type=int, default=100,
+                   help="naive-only propagation round budget")
+    r.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="persist per-stage checkpoint artifacts under DIR")
+    r.add_argument("--resume", action="store_true",
+                   help="restore completed stages from --checkpoint-dir")
+    r.add_argument("--fail-after", default=None, metavar="STAGE",
+                   help="inject a crash after the named stage completes "
+                        "(checkpoint/resume testing)")
+    r.add_argument("--labels-out", default=None)
+    r.add_argument("--trace-out", default=None, metavar="FILE")
+    r.add_argument("--metrics-out", default=None, metavar="FILE")
+    r.add_argument("--sanitize", action="store_true")
+    r.set_defaults(func=cmd_run)
 
     s = sub.add_parser("scaling", help="Figure 8-style speedup sweep")
     s.add_argument("source")

@@ -14,25 +14,22 @@ unlike the Spark job — pays MapReduce's structural costs:
 
 Wall-clock on p cores is the measured-task makespan plus the configured
 per-job startup overhead, identical methodology to the Spark side.
+
+The two MR jobs live in `repro.pipeline.stages_mapreduce` (the plan is
+`repro.pipeline.mapreduce_plan`); this class is the thin frontend shim.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
 import tempfile
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..engine.partitioner import IndexRangePartitioner
-from ..kdtree import KDTree
-from ..mapreduce import JobStats, MapReduceJob
+from ..mapreduce import JobStats
 from ..obs.spans import NULL_TRACER, Tracer
-from .core import ClusteringResult, Timings
-from .merge import merge_partials
-from .partial import local_dbscan
+from ..pipeline.config import RunConfig
+from .core import ClusteringResult
 
 
 @dataclass
@@ -66,126 +63,73 @@ class MapReduceDBSCAN:
         leaf_size: int = 64,
         tmp_dir: str | None = None,
         tracer: Tracer | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        fail_after: str | None = None,
     ):
-        if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
-        if minpts < 1:
-            raise ValueError(f"minpts must be >= 1, got {minpts}")
-        if num_maps < 1:
-            raise ValueError(f"num_maps must be >= 1, got {num_maps}")
-        self.eps = eps
-        self.minpts = minpts
-        self.num_maps = num_maps
-        self.seed_policy = seed_policy
-        self.startup_overhead = startup_overhead
-        self.leaf_size = leaf_size
-        self.tmp_dir = tmp_dir or tempfile.mkdtemp(prefix="mrdbscan-")
+        self.config = RunConfig(
+            eps=eps,
+            minpts=minpts,
+            algorithm="mapreduce",
+            num_partitions=num_maps,
+            seed_policy=seed_policy,
+            startup_overhead=startup_overhead,
+            leaf_size=leaf_size,
+            tmp_dir=tmp_dir or tempfile.mkdtemp(prefix="mrdbscan-"),
+        )
         self.tracer = tracer or NULL_TRACER
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.fail_after = fail_after
 
-    @staticmethod
-    def _graft_map_spans(tracer: Tracer, stats: JobStats, job: str) -> None:
-        """Record each measured map task as an executor-lane span."""
-        if not tracer.enabled:
-            return
-        for m, dur in enumerate(stats.map_task_durations):
-            tracer.add_span(
-                "executor.map_task", dur, cat="executor",
-                tid=f"{job}-map-{m}", partition=m, job=job,
-            )
+    @property
+    def num_maps(self) -> int:
+        """Map-task count (the MR name for ``num_partitions``)."""
+        return self.config.num_partitions
 
-    def fit(self, points: np.ndarray) -> MRDBSCANResult:
-        """Run the clustering over the given points."""
-        points = np.ascontiguousarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError(f"points must be 2-D, got shape {points.shape}")
-        n = points.shape[0]
-        timings = Timings()
-        wall_start = time.perf_counter()
+    def __getattr__(self, name: str):
+        if name in ("config", "__setstate__"):
+            raise AttributeError(name)
+        try:
+            return getattr(self.config, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
 
-        tracer = self.tracer
+    def fit(self, points: np.ndarray, sc=None) -> MRDBSCANResult:
+        """Run the clustering over the given points.
 
-        # Driver: build the tree once and stage it in the distributed cache.
-        os.makedirs(self.tmp_dir, exist_ok=True)
-        with tracer.span("driver.kdtree_build", cat="driver") as sp:
-            t0 = time.perf_counter()
-            tree = KDTree(points, leaf_size=self.leaf_size)
-            cache_path = os.path.join(self.tmp_dir, "kdtree.cache.pkl")
-            with open(cache_path, "wb") as f:
-                pickle.dump(tree, f, protocol=pickle.HIGHEST_PROTOCOL)
-            timings.kdtree_build = time.perf_counter() - t0
-            sp.annotate(n=n, cache_bytes=os.path.getsize(cache_path))
+        ``sc`` exists only for frontend-contract uniformity; the
+        MapReduce runtime has no Spark engine to lend, so it is unused.
+        """
+        from ..pipeline.plans import build_plan
+        from ..pipeline.runner import PipelineRunner
 
-        partitioner = IndexRangePartitioner(n, self.num_maps)
-        eps, minpts, seed_policy = self.eps, self.minpts, self.seed_policy
-
-        # ---- Round 1: local clustering + merge ------------------------------
-        def map_local_cluster(map_id, index_range):
-            # Distributed cache read: every task pays the deserialisation.
-            with open(cache_path, "rb") as fh:
-                local_tree = pickle.load(fh)
-            partials = local_dbscan(
-                map_id, range(*index_range), local_tree.points, local_tree,
-                eps, minpts, partitioner, seed_policy=seed_policy,
-            )
-            yield (0, partials)
-
-        merged_labels: dict[str, np.ndarray] = {}
-
-        def reduce_merge(_key, partial_lists):
-            partials = [c for chunk in partial_lists for c in chunk]
-            outcome = merge_partials(partials, n)
-            merged_labels["labels"] = outcome.labels
-            merged_labels["num_partials"] = len(partials)  # type: ignore[assignment]
-            merged_labels["num_merges"] = outcome.num_merges  # type: ignore[assignment]
-            for i, lab in enumerate(outcome.labels):
-                yield (int(i), int(lab))
-
-        job1 = MapReduceJob(
-            mapper=map_local_cluster,
-            reducer=reduce_merge,
-            num_reducers=1,
-            tmp_dir=os.path.join(self.tmp_dir, "job1"),
-            startup_overhead=self.startup_overhead,
+        runner = PipelineRunner(
+            build_plan(self.config),
+            self.config,
+            tracer=self.tracer,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
+            fail_after=self.fail_after,
         )
-        splits = [
-            [(m, partitioner.range_of(m))] for m in range(self.num_maps)
-        ]
-        with tracer.span("mr.job1", round=1, startup_overhead=self.startup_overhead):
-            labelled = [kv for out in job1.run(splits) for kv in out]
-        self._graft_map_spans(tracer, job1.stats, "mr1")
-
-        # ---- Round 2: relabel/validate — re-materialise all records ---------
-        def map_identity(idx, label):
-            yield (idx % self.num_maps, (idx, label))
-
-        def reduce_collect(_key, values):
-            yield from values
-
-        job2 = MapReduceJob(
-            mapper=map_identity,
-            reducer=reduce_collect,
-            num_reducers=self.num_maps,
-            tmp_dir=os.path.join(self.tmp_dir, "job2"),
-            startup_overhead=self.startup_overhead,
-        )
-        with tracer.span("mr.job2", round=2, startup_overhead=self.startup_overhead):
-            out2 = job2.run_on_records(labelled, self.num_maps)
-        self._graft_map_spans(tracer, job2.stats, "mr2")
-
-        labels = np.full(n, -1, dtype=np.int64)
-        for idx, lab in out2:
-            labels[idx] = lab
-
-        timings.wall = time.perf_counter() - wall_start
+        state = runner.run(points, algo_label=type(self).__name__)
+        job1_stats: JobStats = state.extras["job1_stats"]
+        job2_stats: JobStats = state.extras["job2_stats"]
+        merge_info = state.extras["mr_merge_info"]
+        timings = state.timings
         timings.executor_task_durations = (
-            job1.stats.map_task_durations + job2.stats.map_task_durations
+            job1_stats.map_task_durations + job2_stats.map_task_durations
         )
-        timings.executor_total = job1.stats.total_task_time + job2.stats.total_task_time
+        timings.executor_total = (
+            job1_stats.total_task_time + job2_stats.total_task_time
+        )
         timings.executor_max = max(timings.executor_task_durations, default=0.0)
         return MRDBSCANResult(
-            labels=labels,
+            labels=state.labels,
             timings=timings,
-            num_partial_clusters=int(merged_labels.get("num_partials", 0)),
-            num_merges=int(merged_labels.get("num_merges", 0)),
-            job_stats=[job1.stats, job2.stats],
+            num_partial_clusters=int(merge_info.get("num_partials", 0)),
+            num_merges=int(merge_info.get("num_merges", 0)),
+            job_stats=[job1_stats, job2_stats],
         )

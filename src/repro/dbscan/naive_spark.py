@@ -16,19 +16,21 @@ measurable opponent (Ablation D):
 The result is the same clustering; the cost is O(graph diameter)
 shuffle rounds with all-points record volume in each, versus zero
 shuffles for the SEED algorithm.
+
+The propagation body lives in `repro.pipeline.stages_naive` (the plan
+is `repro.pipeline.naive_plan`); this class is the thin frontend shim.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..engine import SparkContext
-from ..kdtree import KDTree
 from ..obs.spans import NULL_TRACER, Tracer
-from .core import NOISE, ClusteringResult, Timings
+from ..pipeline.config import RunConfig
+from .core import ClusteringResult
 
 
 @dataclass
@@ -51,131 +53,60 @@ class NaiveSparkDBSCAN:
         leaf_size: int = 64,
         tracer: Tracer | None = None,
         sanitize: bool = False,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        fail_after: str | None = None,
     ):
-        if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
-        if minpts < 1:
-            raise ValueError(f"minpts must be >= 1, got {minpts}")
-        self.eps = eps
-        self.minpts = minpts
-        self.num_partitions = num_partitions
-        self.master = master or f"simulated[{num_partitions}]"
-        self.max_rounds = max_rounds
-        self.leaf_size = leaf_size
+        self.config = RunConfig(
+            eps=eps,
+            minpts=minpts,
+            algorithm="naive",
+            num_partitions=num_partitions,
+            master=master,
+            max_rounds=max_rounds,
+            leaf_size=leaf_size,
+            sanitize=sanitize,
+        )
         self.tracer = tracer or NULL_TRACER
-        self.sanitize = sanitize
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.fail_after = fail_after
 
-    def fit(self, points: np.ndarray, sc: SparkContext | None = None) -> NaiveSparkResult:
-        """Run the clustering over the given points."""
-        points = np.ascontiguousarray(points, dtype=np.float64)
-        n = points.shape[0]
-        timings = Timings()
-        wall_start = time.perf_counter()
-
-        tracer = self.tracer
-        if not tracer.enabled and sc is not None and sc.tracer.enabled:
-            tracer = sc.tracer
-
-        with tracer.span("driver.kdtree_build", cat="driver"):
-            t0 = time.perf_counter()
-            tree = KDTree(points, leaf_size=self.leaf_size)
-            timings.kdtree_build = time.perf_counter() - t0
-
-        own_sc = sc is None
-        if own_sc:
-            sc = SparkContext(
-                self.master, app_name="naive-spark-dbscan", tracer=tracer,
-                sanitize=self.sanitize,
-            )
-        rounds = 0
+    def __getattr__(self, name: str):
+        if name in ("config", "__setstate__"):
+            raise AttributeError(name)
+        if name == "master":
+            return self.config.resolved_master
         try:
-            eps, minpts = self.eps, self.minpts
-            tree_b = sc.broadcast(tree)
+            return getattr(self.config, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
 
-            # Pass 1 (no shuffle yet): core flags + adjacency edges.
-            def neighbourhoods(it):
-                t = tree_b.value
-                for i in it:
-                    neigh = t.query_radius(t.points[i], eps)
-                    yield (i, neigh.tolist(), len(neigh) >= minpts)
+    def fit(
+        self, points: np.ndarray, sc: SparkContext | None = None
+    ) -> NaiveSparkResult:
+        """Run the clustering over the given points."""
+        from ..pipeline.plans import build_plan
+        from ..pipeline.runner import PipelineRunner
 
-            info = sc.parallelize(range(n), self.num_partitions).map_partitions(
-                neighbourhoods
-            )
-            info.cache()
-            core_flags = dict(info.map(lambda rec: (rec[0], rec[2])).collect())
-            core_b = sc.broadcast(core_flags)
-
-            # Core-graph edges, both directions between core points.
-            def core_edges(rec):
-                i, neigh, is_core = rec
-                if not is_core:
-                    return []
-                flags = core_b.value
-                return [(j, i) for j in neigh if flags[j]]
-
-            edges = info.flat_map(core_edges)
-            edges.cache()
-
-            # labels: every core point starts in its own cluster.
-            labels = {i: i for i in range(n) if core_flags[i]}
-
-            # Iterative min-label propagation; each round shuffles.
-            for _ in range(self.max_rounds):
-                rounds += 1
-                with tracer.span("naive.propagation_round", round=rounds) as round_sp:
-                    lab_b = sc.broadcast(labels)
-                    new_pairs = (
-                        edges.map(lambda e: (e[1], lab_b.value[e[0]]))
-                        .reduce_by_key(min, self.num_partitions)
-                        .collect()
-                    )
-                    changed = 0
-                    for i, incoming in new_pairs:
-                        if incoming < labels[i]:
-                            labels[i] = incoming
-                            changed += 1
-                    round_sp.annotate(changed=changed)
-                if changed == 0:
-                    break
-
-            # Border assignment: non-core point takes the min label among
-            # adjacent core points (one more shuffled pass).
-            lab_b = sc.broadcast(labels)
-
-            def border_claims(rec):
-                i, neigh, is_core = rec
-                if is_core:
-                    return []
-                cores = [lab_b.value[j] for j in neigh if j in lab_b.value]
-                return [(i, min(cores))] if cores else []
-
-            border = dict(
-                info.flat_map(border_claims).reduce_by_key(min, self.num_partitions).collect()
-            )
-            rounds += 1
-            shuffle_bytes = sum(
-                tm.shuffle_bytes_written
-                for jm in sc.dag_scheduler.job_metrics
-                for st in jm.stages
-                for tm in st.task_metrics
-            )
-        finally:
-            if own_sc:
-                sc.stop()
-
-        out = np.full(n, NOISE, dtype=np.int64)
-        remap: dict[int, int] = {}
-        for i, lab in labels.items():
-            out[i] = remap.setdefault(lab, len(remap))
-        for i, lab in border.items():
-            out[i] = remap[lab] if lab in remap else NOISE
-
-        timings.wall = time.perf_counter() - wall_start
+        runner = PipelineRunner(
+            build_plan(self.config),
+            self.config,
+            tracer=self.tracer,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
+            fail_after=self.fail_after,
+        )
+        state = runner.run(points, sc=sc, algo_label=type(self).__name__)
+        timings = state.timings
+        # Historical accounting: everything past the tree build is
+        # charged to the (shuffle-bound) executor side.
         timings.executor_total = timings.wall - timings.kdtree_build
         return NaiveSparkResult(
-            labels=out,
+            labels=state.labels,
             timings=timings,
-            shuffle_rounds=rounds,
-            shuffle_bytes=shuffle_bytes,
+            shuffle_rounds=state.extras["shuffle_rounds"],
+            shuffle_bytes=state.extras["shuffle_bytes"],
         )

@@ -10,19 +10,23 @@ reproducing the paper's Section III-B data-structure discussion:
 
 Both produce identical clusterings; Ablation C benchmarks them
 head-to-head.
+
+As a pipeline composition this is the degenerate single-partition plan
+(`repro.pipeline.sequential_plan`): LoadPoints → BuildIndex →
+SequentialExpand, no engine, no merge.  The expansion kernels below are
+what `repro.pipeline.stages.SequentialExpand` calls.
 """
 
 from __future__ import annotations
 
-import time
 from collections import deque
 
 import numpy as np
 
 from ..kdtree import KDTree
-from ..obs.spans import NULL_TRACER, Tracer
-from .core import NOISE, UNCLASSIFIED, ClusteringResult, Timings
-from .partial import NEIGHBOR_MODES
+from ..obs.spans import Tracer
+from ..pipeline.config import RunConfig
+from .core import NOISE, UNCLASSIFIED, ClusteringResult
 
 
 def dbscan_sequential(
@@ -35,6 +39,8 @@ def dbscan_sequential(
     max_neighbors: int | None = None,
     neighbor_mode: str = "per_point",
     tracer: Tracer | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> ClusteringResult:
     """Cluster ``points`` with classic DBSCAN (Algorithm 1).
 
@@ -46,56 +52,31 @@ def dbscan_sequential(
     `KDTree.query_radius_batch` call before expanding; labels are
     identical to the per-point mode.
     """
-    points = np.ascontiguousarray(points, dtype=np.float64)
-    if points.ndim != 2:
-        raise ValueError(f"points must be 2-D, got shape {points.shape}")
-    if minpts < 1:
-        raise ValueError(f"minpts must be >= 1, got {minpts}")
-    if impl not in ("array", "hashtable"):
-        raise ValueError(f"impl must be 'array' or 'hashtable', got {impl!r}")
-    if neighbor_mode not in NEIGHBOR_MODES:
-        raise ValueError(
-            f"neighbor_mode must be one of {NEIGHBOR_MODES}, got {neighbor_mode!r}"
-        )
+    config = RunConfig(
+        eps=eps,
+        minpts=minpts,
+        algorithm="sequential",
+        num_partitions=1,
+        impl=impl,
+        leaf_size=leaf_size,
+        max_neighbors=max_neighbors,
+        neighbor_mode=neighbor_mode,
+    )
+    from ..pipeline.plans import build_plan
+    from ..pipeline.runner import PipelineRunner
 
-    tracer = tracer or NULL_TRACER
-    timings = Timings()
-    with tracer.span(
-        "dbscan.fit", algorithm="sequential", n=int(points.shape[0]),
-        eps=eps, minpts=minpts,
-    ):
-        t_start = time.perf_counter()
-        if tree is None:
-            with tracer.span("driver.kdtree_build", cat="driver"):
-                t0 = time.perf_counter()
-                tree = KDTree(points, leaf_size=leaf_size)
-                timings.kdtree_build = time.perf_counter() - t0
-
-        with tracer.span(
-            "executor.partition_expand", cat="executor", tid="executor-0",
-            partition=0, impl=impl, mode=neighbor_mode,
-        ):
-            if neighbor_mode == "batched":
-                indptr, indices = tree.query_radius_batch(points, eps, max_neighbors)
-
-                def neigh_of(j: int) -> np.ndarray:
-                    return indices[indptr[j]:indptr[j + 1]]
-            else:
-                query = tree.query_radius
-
-                def neigh_of(j: int) -> np.ndarray:
-                    return query(points[j], eps, max_neighbors)
-
-            if impl == "array":
-                labels = _dbscan_array(points.shape[0], minpts, neigh_of)
-            else:
-                labels = _dbscan_hashtable(points.shape[0], minpts, neigh_of)
-
-        timings.wall = time.perf_counter() - t_start
+    runner = PipelineRunner(
+        build_plan(config), config, tracer=tracer,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+    )
+    state = runner.run(points, tree=tree, algo_label="sequential")
+    timings = state.timings
+    # Single-partition accounting: everything past the tree build is the
+    # one executor's task.
     timings.executor_total = timings.wall - timings.kdtree_build
     timings.executor_max = timings.executor_total
     timings.executor_task_durations = [timings.executor_total]
-    return ClusteringResult(labels=labels, timings=timings)
+    return ClusteringResult(labels=state.labels, timings=timings)
 
 
 def _dbscan_array(n: int, minpts: int, neigh_of) -> np.ndarray:

@@ -11,22 +11,27 @@ Driver side::
 
 Executors never talk to each other — no shuffle stage exists anywhere
 in the job's lineage, which is the property the whole design buys.
+
+Since the pipeline refactor this class is a thin shim: the sequence
+above lives in `repro.pipeline` as a composition of typed stages
+(`repro.pipeline.spark_plan`), and ``fit`` just assembles a `RunConfig`,
+hands it to a `PipelineRunner`, and repackages the final state as the
+historical result object.  Labels, partials, and counters are
+byte-identical to the pre-refactor monolithic implementation.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import LIST_CONCAT, SparkContext
-from ..engine.partitioner import IndexRangePartitioner
+from ..engine import SparkContext
 from ..kdtree import KDTree
 from ..obs.spans import NULL_TRACER, Tracer
-from .core import ClusteringResult, Timings
-from .merge import MERGE_STRATEGIES, merge_partials
-from .partial import NEIGHBOR_MODES, SEED_POLICIES, OpCounters, PartialCluster, local_dbscan
+from ..pipeline.config import RunConfig
+from .core import ClusteringResult
+from .partial import PartialCluster
 
 
 @dataclass
@@ -82,7 +87,18 @@ class SparkDBSCAN:
         `repro.obs.MetricsRegistry` receiving task metrics and the
         executors' `OpCounters` (collected through a second accumulator
         only when a registry is present).
+    checkpoint_dir, resume, fail_after:
+        Per-stage checkpointing (DESIGN.md §9): with ``checkpoint_dir``
+        set, checkpointable stages persist their outputs keyed by the
+        config+data content hash; ``resume=True`` restores completed
+        stages instead of re-running them; ``fail_after`` injects a
+        `repro.pipeline.PipelineCrash` after the named stage (testing).
+
+    All parameter validation lives in `repro.pipeline.RunConfig`.
     """
+
+    #: pipeline plan this frontend composes (subclasses override).
+    ALGORITHM = "spark"
 
     def __init__(
         self,
@@ -100,174 +116,84 @@ class SparkDBSCAN:
         tracer: Tracer | None = None,
         metrics_registry=None,
         sanitize: bool = False,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        fail_after: str | None = None,
     ):
-        if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
-        if minpts < 1:
-            raise ValueError(f"minpts must be >= 1, got {minpts}")
-        if num_partitions < 1:
-            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
-        if seed_policy not in SEED_POLICIES:
-            raise ValueError(f"unknown seed_policy {seed_policy!r}")
-        if merge_strategy not in MERGE_STRATEGIES:
-            raise ValueError(f"unknown merge_strategy {merge_strategy!r}")
-        if neighbor_mode not in NEIGHBOR_MODES:
-            raise ValueError(f"unknown neighbor_mode {neighbor_mode!r}")
-        self.eps = eps
-        self.minpts = minpts
-        self.num_partitions = num_partitions
-        self.master = master or f"simulated[{num_partitions}]"
-        self.seed_policy = seed_policy
-        self.merge_strategy = merge_strategy
-        self.max_neighbors = max_neighbors
-        self.min_cluster_size = min_cluster_size
-        self.leaf_size = leaf_size
-        self.keep_partials = keep_partials
-        self.neighbor_mode = neighbor_mode
+        self.config = RunConfig(
+            eps=eps,
+            minpts=minpts,
+            algorithm=self.ALGORITHM,
+            num_partitions=num_partitions,
+            master=master,
+            seed_policy=seed_policy,
+            merge_strategy=merge_strategy,
+            max_neighbors=max_neighbors,
+            min_cluster_size=min_cluster_size,
+            leaf_size=leaf_size,
+            keep_partials=keep_partials,
+            neighbor_mode=neighbor_mode,
+            sanitize=sanitize,
+        )
         self.tracer = tracer or NULL_TRACER
         self.metrics_registry = metrics_registry
-        self.sanitize = sanitize
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.fail_after = fail_after
+
+    def __getattr__(self, name: str):
+        # Legacy attribute surface: the old kwargs lived directly on the
+        # instance; forward them to the config so callers keep working.
+        if name in ("config", "__setstate__"):
+            raise AttributeError(name)
+        if name == "master":
+            return self.config.resolved_master
+        try:
+            return getattr(self.config, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
+
+    def _fit_state(self, points: np.ndarray, sc=None, tree=None):
+        """Run this frontend's plan and return the final pipeline state."""
+        # Imported lazily: repro.pipeline's stage modules import from
+        # repro.dbscan, so a module-level import here would be circular.
+        from ..pipeline.plans import build_plan
+        from ..pipeline.runner import PipelineRunner
+
+        runner = PipelineRunner(
+            build_plan(self.config),
+            self.config,
+            tracer=self.tracer,
+            metrics_registry=self.metrics_registry,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
+            fail_after=self.fail_after,
+        )
+        return runner.run(points, sc=sc, tree=tree, algo_label=type(self).__name__)
 
     def fit(
         self,
         points: np.ndarray,
         sc: SparkContext | None = None,
+        *,
         tree: KDTree | None = None,
     ) -> SparkDBSCANResult:
         """Run the full job; returns labels plus the driver/executor
-        timing split the paper's figures are built from."""
-        points = np.ascontiguousarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError(f"points must be 2-D, got shape {points.shape}")
-        n = points.shape[0]
-        timings = Timings()
-        wall_start = time.perf_counter()
+        timing split the paper's figures are built from.
 
-        # When fitted inside a caller's traced SparkContext, adopt its
-        # tracer so algorithm and engine spans land in one trace.
-        tracer = self.tracer
-        if not tracer.enabled and sc is not None and sc.tracer.enabled:
-            tracer = sc.tracer
-
-        with tracer.span(
-            "dbscan.fit", algorithm=type(self).__name__, n=n,
-            partitions=self.num_partitions, eps=self.eps, minpts=self.minpts,
-        ):
-            # ---- driver: build the kd-tree over the whole dataset ----------
-            if tree is None:
-                with tracer.span("driver.kdtree_build", cat="driver") as sp:
-                    t0 = time.perf_counter()
-                    tree = KDTree(points, leaf_size=self.leaf_size)
-                    timings.kdtree_build = time.perf_counter() - t0
-                    sp.annotate(n=n, leaf_size=self.leaf_size)
-
-            own_sc = sc is None
-            if own_sc:
-                sc = SparkContext(
-                    self.master, app_name="spark-dbscan", tracer=tracer,
-                    metrics_registry=self.metrics_registry,
-                    sanitize=self.sanitize,
-                )
-            try:
-                partials = self._run_job(sc, points, tree, n, timings, tracer)
-                # ---- driver: dig SEEDs and merge (Algorithm 4) --------------
-                with tracer.span("driver.merge", cat="driver") as sp:
-                    t0 = time.perf_counter()
-                    outcome = merge_partials(
-                        partials,
-                        n,
-                        strategy=self.merge_strategy,
-                        min_cluster_size=self.min_cluster_size,
-                    )
-                    timings.driver_merge = time.perf_counter() - t0
-                    sp.annotate(
-                        strategy=self.merge_strategy,
-                        num_partials=len(partials),
-                        num_seeds=sum(len(c.seeds) for c in partials),
-                        num_merges=outcome.num_merges,
-                        num_global_clusters=outcome.num_global_clusters,
-                        overlapping_points=outcome.overlapping_points,
-                    )
-            finally:
-                if own_sc:
-                    sc.stop()
-
-        timings.wall = time.perf_counter() - wall_start
+        ``tree`` (keyword-only) lends a prebuilt kd-tree, skipping the
+        build — used when timing query cost separately.
+        """
+        state = self._fit_state(points, sc=sc, tree=tree)
+        partials = state.partials if state.partials is not None else []
         return SparkDBSCANResult(
-            labels=outcome.labels,
-            timings=timings,
+            labels=state.labels,
+            timings=state.timings,
             num_partial_clusters=len(partials),
             num_seeds=sum(len(c.seeds) for c in partials),
-            num_merges=outcome.num_merges,
-            partials=partials if self.keep_partials else None,
+            num_merges=state.outcome.num_merges,
+            partials=partials if self.config.keep_partials else None,
+            perm=state.perm,
         )
-
-    def _run_job(
-        self,
-        sc: SparkContext,
-        points: np.ndarray,
-        tree: KDTree,
-        n: int,
-        timings: Timings,
-        tracer: Tracer = NULL_TRACER,
-    ) -> list[PartialCluster]:
-        """Algorithm 2 lines 1–29: distribute, cluster locally, accumulate."""
-        partitioner = IndexRangePartitioner(n, self.num_partitions)
-        eps, minpts = self.eps, self.minpts
-        seed_policy, max_neighbors = self.seed_policy, self.max_neighbors
-        neighbor_mode = self.neighbor_mode
-        collect_counters = self.metrics_registry is not None
-
-        with tracer.span("driver.setup", cat="driver"):
-            t0 = time.perf_counter()
-            tree_b = sc.broadcast(tree)
-            indices = sc.parallelize(range(n), self.num_partitions)
-            acc = sc.accumulator(LIST_CONCAT)
-            counters_acc = sc.accumulator(LIST_CONCAT) if collect_counters else None
-            timings.setup = time.perf_counter() - t0
-
-        def run_partition(pid: int, it) -> None:
-            t = tree_b.value
-            counters = OpCounters() if collect_counters else None
-            result = local_dbscan(
-                pid, it, t.points, t, eps, minpts, partitioner,
-                seed_policy=seed_policy, max_neighbors=max_neighbors,
-                neighbor_mode=neighbor_mode, counters=counters,
-            )
-            # Algorithm 2 lines 26–28: ship partial clusters to the driver
-            # through the accumulator as the task finishes.
-            acc.add(result)
-            if counters_acc is not None:
-                counters_acc.add([(pid, counters)])
-
-        indices.foreach_partition_with_index(run_partition)
-
-        durations = sc.last_job_metrics.task_durations()
-        timings.executor_task_durations = durations
-        timings.executor_total = sum(durations)
-        timings.executor_max = max(durations) if durations else 0.0
-
-        with tracer.span("driver.accumulator_drain", cat="driver") as sp:
-            partials = list(acc.value)
-            sp.annotate(num_partials=len(partials))
-
-        if tracer.enabled:
-            partials_per = [0] * self.num_partitions
-            seeds_per = [0] * self.num_partitions
-            for c in partials:
-                partials_per[c.partition] += 1
-                seeds_per[c.partition] += len(c.seeds)
-            # Graft per-partition expansion spans: with one partition per
-            # core (the paper's setup) their max is the executor wall.
-            for pid, dur in enumerate(durations):
-                tracer.add_span(
-                    "executor.partition_expand", dur, cat="executor",
-                    tid=f"executor-{pid}", partition=pid,
-                    partials=partials_per[pid], seeds=seeds_per[pid],
-                )
-        if collect_counters:
-            from ..obs.registry import record_op_counters
-
-            for pid, oc in counters_acc.value:
-                record_op_counters(self.metrics_registry, oc, partition=pid)
-        return partials

@@ -13,16 +13,19 @@ are spatial neighbours and contiguous index ranges become compact
 spatial cells.  Consequences measured in the ablation benches: far
 fewer cross-partition SEEDs and partial clusters, cheaper driver-side
 merging.
+
+As a plan composition this is literally the Spark plan plus a
+`SpatialReorder` stage after `LoadPoints` and a permutation-undoing
+`RelabelFilter` tail (`repro.pipeline.spatial_plan`).
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 
 import numpy as np
 
 from ..kdtree import KDTree
-from .core import Timings
 from .spark_job import SparkDBSCAN, SparkDBSCANResult
 
 
@@ -50,27 +53,22 @@ class SpatialSparkDBSCAN(SparkDBSCAN):
     ``result.perm`` carries the reordering for anyone who needs them.
     """
 
-    def fit(self, points, sc=None, tree=None) -> SparkDBSCANResult:
-        """Run the clustering over the given points."""
-        points = np.ascontiguousarray(points, dtype=np.float64)
-        with self.tracer.span("driver.spatial_reorder", cat="driver") as sp:
-            t0 = time.perf_counter()
-            perm = spatial_order(points, leaf_size=self.leaf_size)
-            reorder_time = time.perf_counter() - t0
-            reordered = points[perm]
-            sp.annotate(n=int(points.shape[0]), leaf_size=self.leaf_size)
-        result = super().fit(reordered, sc=sc, tree=None)
-        with self.tracer.span("driver.relabel", cat="driver"):
-            # Undo the permutation: reordered[k] is original point perm[k].
-            labels = np.empty_like(result.labels)
-            labels[perm] = result.labels
-            result.labels = labels
-            if result.partials is not None:
-                for c in result.partials:
-                    c.members = [int(perm[m]) for m in c.members]
-                    c.seeds = [int(perm[s]) for s in c.seeds]
-                    c.borders = {int(perm[b]) for b in c.borders}
-        result.perm = perm
-        result.timings.setup += reorder_time
-        result.timings.wall += reorder_time
-        return result
+    ALGORITHM = "spatial"
+
+    def fit(self, points, sc=None, *, tree=None) -> SparkDBSCANResult:
+        """Run the clustering over the given points.
+
+        A caller-provided ``tree`` is deprecated here and ignored: the
+        kd-tree must be built over the *reordered* points, so a tree in
+        caller order cannot be reused (the pre-refactor implementation
+        silently discarded it; now it warns).
+        """
+        if tree is not None:
+            warnings.warn(
+                "SpatialSparkDBSCAN.fit() ignores a prebuilt tree: the "
+                "index must be rebuilt over the spatially-reordered "
+                "points; drop the argument",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return super().fit(points, sc=sc, tree=None)

@@ -34,6 +34,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "parse_exposition",
+    "record_checkpoint",
     "record_op_counters",
     "record_task_metrics",
 ]
@@ -312,6 +313,18 @@ def record_op_counters(
         count = getattr(oc, op)
         if count:
             c.inc(count, op=op, partition=partition)
+
+
+def record_checkpoint(registry: MetricsRegistry, stage: str, hit: bool) -> None:
+    """Count one pipeline checkpoint decision (restored = hit, written = miss)."""
+    name = (
+        "repro_checkpoint_hits_total" if hit else "repro_checkpoint_misses_total"
+    )
+    help_text = (
+        "Pipeline stages restored from checkpoint." if hit
+        else "Pipeline stages executed and checkpointed."
+    )
+    registry.counter(name, help_text, ("stage",)).inc(stage=stage)
 
 
 # ---------------------------------------------------------------------------

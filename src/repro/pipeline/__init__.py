@@ -1,0 +1,84 @@
+"""Composable driver pipeline behind every DBSCAN frontend.
+
+All five frontends (`repro.dbscan`) are thin compositions of the stages
+in this package, executed by one `PipelineRunner`:
+
+- `RunConfig` — the single frozen config replacing the kwarg sprawl;
+- `Stage` subclasses — the paper's driver steps as typed objects;
+- `Plan` / `build_plan` — the five frontend compositions;
+- `PipelineRunner` — spans + metrics per stage, checkpoint/resume;
+- `CheckpointStore` — content-hashed per-stage artifacts on disk.
+
+See DESIGN.md §9 for the architecture and checkpoint format.
+"""
+
+from .config import ALGORITHMS, HASHED_FIELDS, RunConfig
+from .checkpoint import CheckpointError, CheckpointStore
+from .state import PipelineState
+from .stages import (
+    BroadcastModel,
+    BuildIndex,
+    CollectPartials,
+    LoadPoints,
+    LocalExpand,
+    MergePartials,
+    PartitionPlan,
+    PipelineError,
+    RelabelFilter,
+    SequentialExpand,
+    SpatialReorder,
+    Stage,
+)
+from .stages_naive import NaiveRelabel, ShuffleExpand
+from .stages_mapreduce import MRBuildIndex, MRCollect, MRLocalExpand, MRRelabel
+from .plans import (
+    PLAN_BUILDERS,
+    Plan,
+    build_plan,
+    mapreduce_plan,
+    naive_plan,
+    sequential_plan,
+    spark_plan,
+    spatial_plan,
+)
+from .runner import RESTORED, RUN, SKIPPED, PipelineCrash, PipelineRunner
+
+__all__ = [
+    "ALGORITHMS",
+    "HASHED_FIELDS",
+    "RunConfig",
+    "CheckpointError",
+    "CheckpointStore",
+    "PipelineState",
+    "Stage",
+    "PipelineError",
+    "LoadPoints",
+    "SpatialReorder",
+    "BuildIndex",
+    "PartitionPlan",
+    "BroadcastModel",
+    "LocalExpand",
+    "CollectPartials",
+    "MergePartials",
+    "RelabelFilter",
+    "SequentialExpand",
+    "ShuffleExpand",
+    "NaiveRelabel",
+    "MRBuildIndex",
+    "MRLocalExpand",
+    "MRCollect",
+    "MRRelabel",
+    "Plan",
+    "PLAN_BUILDERS",
+    "build_plan",
+    "spark_plan",
+    "spatial_plan",
+    "sequential_plan",
+    "naive_plan",
+    "mapreduce_plan",
+    "PipelineRunner",
+    "PipelineCrash",
+    "RUN",
+    "RESTORED",
+    "SKIPPED",
+]

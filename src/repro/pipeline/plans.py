@@ -1,0 +1,169 @@
+"""Plan compositions: the five frontends as stage lists.
+
+The paper's driver program is one fixed sequence; the five frontends are
+small edits of it (Section IV vs. the Section V baselines):
+
+==============  ==========================================================
+``spark``       LoadPoints → BuildIndex → PartitionPlan → BroadcastModel →
+                LocalExpand → CollectPartials → MergePartials → RelabelFilter
+``spatial``     the same plan with a SpatialReorder stage after LoadPoints
+                (and a permutation-undoing RelabelFilter tail)
+``sequential``  the degenerate single-partition plan: LoadPoints →
+                BuildIndex → SequentialExpand
+``naive``       LoadPoints → BuildIndex → ShuffleExpand → RelabelFilter
+``mapreduce``   LoadPoints → BuildIndex(+cache) → PartitionPlan →
+                LocalExpand(MR job 1) → CollectPartials(MR job 2) →
+                RelabelFilter
+==============  ==========================================================
+
+``Plan.outputs`` names the state keys a frontend reads off the final
+state; the runner works backwards from them to decide which stages can be
+skipped outright when a resume restores their downstream consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import RunConfig
+from .stages import (
+    BroadcastModel,
+    BuildIndex,
+    CollectPartials,
+    LoadPoints,
+    LocalExpand,
+    MergePartials,
+    PartitionPlan,
+    RelabelFilter,
+    SequentialExpand,
+    SpatialReorder,
+    Stage,
+)
+from .stages_mapreduce import MRBuildIndex, MRCollect, MRLocalExpand, MRRelabel
+from .stages_naive import NaiveRelabel, ShuffleExpand
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An ordered stage composition plus the keys its caller consumes."""
+
+    name: str
+    stages: tuple[Stage, ...]
+    outputs: tuple[str, ...] = ("labels",)
+    algo_label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.stages or not isinstance(self.stages[0], LoadPoints):
+            raise ValueError("every plan must start with LoadPoints")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in plan: {names}")
+
+    def stage_names(self) -> tuple[str, ...]:
+        """The stage names, in execution order."""
+        return tuple(s.name for s in self.stages)
+
+
+def spark_plan(config: RunConfig) -> Plan:
+    """The paper's SEED pipeline (Algorithm 2)."""
+    return Plan(
+        name="spark",
+        algo_label="SparkDBSCAN",
+        stages=(
+            LoadPoints(),
+            BuildIndex(),
+            PartitionPlan(),
+            BroadcastModel(),
+            LocalExpand(),
+            CollectPartials(),
+            MergePartials(),
+            RelabelFilter(),
+        ),
+        outputs=("labels", "outcome", "partials"),
+    )
+
+
+def spatial_plan(config: RunConfig) -> Plan:
+    """The SEED pipeline over spatially-reordered indices (future work)."""
+    return Plan(
+        name="spatial",
+        algo_label="SpatialSparkDBSCAN",
+        stages=(
+            LoadPoints(),
+            SpatialReorder(),
+            # The tree must be built over the *reordered* points, so the
+            # build depends on the permutation having been applied.
+            BuildIndex(requires=("points", "perm")),
+            PartitionPlan(),
+            BroadcastModel(),
+            LocalExpand(),
+            CollectPartials(),
+            MergePartials(),
+            RelabelFilter(spatial=True, keep_partials=config.keep_partials),
+        ),
+        outputs=("labels", "outcome", "partials", "perm"),
+    )
+
+
+def sequential_plan(config: RunConfig) -> Plan:
+    """Algorithm 1 as a degenerate single-partition plan."""
+    return Plan(
+        name="sequential",
+        algo_label="sequential",
+        stages=(
+            LoadPoints(),
+            BuildIndex(),
+            SequentialExpand(),
+        ),
+        outputs=("labels",),
+    )
+
+
+def naive_plan(config: RunConfig) -> Plan:
+    """The shuffle-per-round baseline the paper argues against."""
+    return Plan(
+        name="naive",
+        algo_label="NaiveSparkDBSCAN",
+        stages=(
+            LoadPoints(),
+            BuildIndex(),
+            ShuffleExpand(),
+            NaiveRelabel(),
+        ),
+        outputs=("labels", "propagated"),
+    )
+
+
+def mapreduce_plan(config: RunConfig) -> Plan:
+    """Two-round MR-DBSCAN over the mini-MapReduce runtime (Figure 7)."""
+    return Plan(
+        name="mapreduce",
+        algo_label="MapReduceDBSCAN",
+        stages=(
+            LoadPoints(),
+            MRBuildIndex(),
+            PartitionPlan(),
+            MRLocalExpand(),
+            MRCollect(),
+            MRRelabel(),
+        ),
+        outputs=("labels", "mr_round1", "mr_round2"),
+    )
+
+
+PLAN_BUILDERS = {
+    "spark": spark_plan,
+    "spatial": spatial_plan,
+    "sequential": sequential_plan,
+    "naive": naive_plan,
+    "mapreduce": mapreduce_plan,
+}
+
+
+def build_plan(config: RunConfig) -> Plan:
+    """The plan composition for ``config.algorithm``."""
+    try:
+        builder = PLAN_BUILDERS[config.algorithm]
+    except KeyError:
+        raise ValueError(f"unknown algorithm {config.algorithm!r}") from None
+    return builder(config)

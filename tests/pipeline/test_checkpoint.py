@@ -1,0 +1,98 @@
+"""CheckpointStore: atomic per-stage artifacts keyed by run key."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.pipeline import CheckpointError, CheckpointStore
+
+
+class TestArtifacts:
+    def test_json_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "k" * 64)
+        store.save_json("StageA", {"x": [1, 2], "y": "z"})
+        store.complete("StageA")
+        assert store.load_json("StageA") == {"x": [1, 2], "y": "z"}
+
+    def test_npz_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "k" * 64)
+        arr = np.arange(12).reshape(3, 4)
+        store.save_npz("StageB", labels=arr)
+        store.complete("StageB")
+        out = store.load_npz("StageB")["labels"]
+        assert np.array_equal(out, arr)
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "k" * 64)
+        store.save_json("S", {})
+        store.save_npz("S", a=np.zeros(3))
+        assert not [f for f in os.listdir(store.dir) if f.endswith(".tmp")]
+
+    def test_unreadable_artifact_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "k" * 64)
+        with pytest.raises(CheckpointError):
+            store.load_json("Nope")
+        with pytest.raises(CheckpointError):
+            store.load_npz("Nope")
+
+
+class TestManifest:
+    def test_has_requires_complete(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "k" * 64)
+        store.save_json("S", {"a": 1})
+        assert not store.has("S")          # written but not committed
+        store.complete("S")
+        assert store.has("S")
+
+    def test_completed_survive_reopen(self, tmp_path):
+        key = "k" * 64
+        store = CheckpointStore(str(tmp_path), key)
+        store.save_json("S", {"a": 1})
+        store.complete("S")
+        again = CheckpointStore(str(tmp_path), key)
+        assert again.has("S")
+        assert again.completed_stages() == ["S"]
+
+    def test_missing_file_invalidates_stage(self, tmp_path):
+        key = "k" * 64
+        store = CheckpointStore(str(tmp_path), key)
+        store.save_json("S", {"a": 1})
+        store.complete("S")
+        os.remove(os.path.join(store.dir, "S.json"))
+        assert not CheckpointStore(str(tmp_path), key).has("S")
+
+    def test_run_key_mismatch_is_cold(self, tmp_path):
+        # Same truncated directory name, different full key: the stale
+        # manifest must not be trusted.
+        key_a = "a" * 32 + "1" * 32
+        key_b = "a" * 32 + "2" * 32
+        store = CheckpointStore(str(tmp_path), key_a)
+        store.save_json("S", {"a": 1})
+        store.complete("S")
+        assert not CheckpointStore(str(tmp_path), key_b).has("S")
+
+    def test_different_keys_use_disjoint_dirs(self, tmp_path):
+        a = CheckpointStore(str(tmp_path), "a" * 64)
+        b = CheckpointStore(str(tmp_path), "b" * 64)
+        a.save_json("S", {"v": "a"})
+        a.complete("S")
+        assert not b.has("S")
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "k" * 64)
+        store.save_json("S", {})
+        store.complete("S")
+        with open(os.path.join(store.dir, "manifest.json"), "w") as f:
+            f.write("{not json")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(str(tmp_path), "k" * 64)
+
+    def test_manifest_records_config_summary(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "k" * 64, {"eps": 25.0})
+        store.save_json("S", {})
+        store.complete("S")
+        with open(os.path.join(store.dir, "manifest.json")) as f:
+            manifest = json.load(f)
+        assert manifest["config"] == {"eps": 25.0}

@@ -1,0 +1,193 @@
+"""PipelineRunner: stage wiring, crash injection, checkpoint/resume.
+
+The acceptance property for the whole refactor: a crashed run resumed
+from its checkpoints produces labels byte-identical to an uninterrupted
+run, without re-executing (or even starting the engine for) the stages
+upstream of the restored one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_clustered
+from repro.obs import MetricsRegistry
+from repro.pipeline import (
+    LoadPoints,
+    MergePartials,
+    PipelineCrash,
+    PipelineError,
+    PipelineRunner,
+    Plan,
+    RunConfig,
+    build_plan,
+)
+
+EPS, MINPTS = 25.0, 5
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_clustered(n=400, num_clusters=3, cluster_std=8.0, seed=3).points
+
+
+def make_config(algorithm, **kw):
+    kw.setdefault("num_partitions", 3)
+    if algorithm == "mapreduce":
+        kw.setdefault("startup_overhead", 0.0)
+    return RunConfig(eps=EPS, minpts=MINPTS, algorithm=algorithm, **kw)
+
+
+def run_plan(config, points, **runner_kw):
+    runner = PipelineRunner(build_plan(config), config, **runner_kw)
+    return runner.run(points)
+
+
+class TestPlanValidation:
+    def test_must_start_with_load_points(self):
+        with pytest.raises(ValueError):
+            Plan(name="bad", stages=(MergePartials(),))
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError):
+            Plan(name="bad", stages=(LoadPoints(), MergePartials(),
+                                     MergePartials()))
+
+    def test_unknown_fail_after_rejected(self, data):
+        config = make_config("spark")
+        with pytest.raises(ValueError):
+            PipelineRunner(build_plan(config), config, fail_after="Teleport")
+
+    def test_missing_requires_raises(self, data):
+        # MergePartials without anything providing partials.
+        plan = Plan(name="broken", stages=(LoadPoints(), MergePartials()),
+                    outputs=("outcome",))
+        config = make_config("spark")
+        with pytest.raises(PipelineError):
+            PipelineRunner(plan, config).run(data)
+
+
+#: (algorithm, stage to crash after, stages that must be skipped on resume)
+CRASH_MATRIX = [
+    ("spark", "CollectPartials",
+     {"BuildIndex", "PartitionPlan", "BroadcastModel", "LocalExpand"}),
+    ("spatial", "CollectPartials",
+     {"BuildIndex", "PartitionPlan", "BroadcastModel", "LocalExpand"}),
+    ("naive", "ShuffleExpand", {"BuildIndex"}),
+    ("mapreduce", "LocalExpand", {"BuildIndex", "PartitionPlan"}),
+    ("sequential", "SequentialExpand", {"BuildIndex"}),
+]
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("algorithm,kill_after,skipped", CRASH_MATRIX)
+    def test_resume_matches_uninterrupted(
+        self, algorithm, kill_after, skipped, data, tmp_path
+    ):
+        config = make_config(algorithm)
+        reference = run_plan(config, data)
+
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after=kill_after)
+
+        resumed = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                           resume=True)
+        assert resumed.stage_status[kill_after] == "restored"
+        for name in skipped:
+            assert resumed.stage_status[name] == "skipped"
+        assert np.array_equal(resumed.labels, reference.labels)
+
+    def test_resume_never_starts_engine(self, data, tmp_path):
+        config = make_config("spark")
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after="CollectPartials")
+        resumed = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                           resume=True)
+        assert resumed.sc is None          # merge ran purely from artifacts
+        assert resumed.stage_status["MergePartials"] == "run"
+
+    def test_changed_eps_invalidates_checkpoints(self, data, tmp_path):
+        config = make_config("spark")
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after="CollectPartials")
+
+        other = RunConfig(eps=EPS + 1.0, minpts=MINPTS, algorithm="spark",
+                          num_partitions=3)
+        cold = run_plan(other, data, checkpoint_dir=str(tmp_path), resume=True)
+        # Nothing restored: the new eps keys a different run directory.
+        assert all(s == "run" for s in cold.stage_status.values())
+
+    def test_changed_data_invalidates_checkpoints(self, data, tmp_path):
+        config = make_config("spark")
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after="CollectPartials")
+        other = data.copy()
+        other[0, 0] += 1.0
+        cold = run_plan(config, other, checkpoint_dir=str(tmp_path),
+                        resume=True)
+        assert all(s == "run" for s in cold.stage_status.values())
+
+    def test_resume_without_checkpoints_runs_everything(self, data, tmp_path):
+        config = make_config("spark")
+        state = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                         resume=True)
+        assert all(s == "run" for s in state.stage_status.values())
+
+    def test_spatial_resume_restores_partials_in_caller_order(
+        self, data, tmp_path
+    ):
+        config = make_config("spatial", keep_partials=True)
+        reference = run_plan(config, data)
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after="CollectPartials")
+        resumed = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                           resume=True)
+        assert np.array_equal(resumed.perm, reference.perm)
+        ref = {(c.partition, c.local_id):
+               (sorted(c.members), sorted(c.seeds), sorted(c.borders))
+               for c in reference.partials}
+        res = {(c.partition, c.local_id):
+               (sorted(c.members), sorted(c.seeds), sorted(c.borders))
+               for c in resumed.partials}
+        assert ref == res
+
+
+class TestCheckpointMetrics:
+    def test_miss_then_hit_counters(self, data, tmp_path):
+        config = make_config("spark")
+        reg = MetricsRegistry()
+        run_plan(config, data, checkpoint_dir=str(tmp_path),
+                 metrics_registry=reg)
+        misses = reg.get("repro_checkpoint_misses_total")
+        assert misses.value(stage="CollectPartials") == 1
+        assert reg.get("repro_checkpoint_hits_total") is None
+
+        reg2 = MetricsRegistry()
+        run_plan(config, data, checkpoint_dir=str(tmp_path), resume=True,
+                 metrics_registry=reg2)
+        hits = reg2.get("repro_checkpoint_hits_total")
+        assert hits.value(stage="MergePartials") == 1
+
+    def test_no_store_no_counters(self, data):
+        reg = MetricsRegistry()
+        run_plan(make_config("spark"), data, metrics_registry=reg)
+        assert reg.get("repro_checkpoint_misses_total") is None
+
+
+class TestStageSpans:
+    def test_pipeline_stage_spans_emitted(self, data):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        run_plan(make_config("spark"), data, tracer=tracer)
+        stage_spans = [s for s in tracer.spans if s.name == "pipeline.stage"]
+        ran = {s.labels["stage"] for s in stage_spans}
+        assert {"LoadPoints", "BuildIndex", "LocalExpand", "MergePartials"} <= ran
+        assert all(s.labels["status"] == "run" for s in stage_spans)
+        # Legacy span vocabulary is still present alongside.
+        names = {s.name for s in tracer.spans}
+        assert {"dbscan.fit", "driver.kdtree_build", "driver.merge"} <= names

@@ -140,6 +140,63 @@ class TestTelemetryFlags:
         assert "no events" in capsys.readouterr().err
 
 
+class TestRun:
+    @pytest.fixture
+    def points_file(self, tmp_path):
+        from repro.data import generate_clustered, save_points
+
+        g = generate_clustered(n=400, num_clusters=3, cluster_std=8.0, seed=5)
+        path = tmp_path / "p.txt"
+        save_points(str(path), g.points)
+        return str(path)
+
+    def test_run_prints_plan_and_summary(self, points_file, capsys):
+        assert main(["run", points_file, "--partitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan=spark" in out
+        assert "LoadPoints -> " in out
+        assert "3 clusters" in out
+
+    def test_crash_then_resume(self, points_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["run", points_file, "--partitions", "2",
+                     "--checkpoint-dir", ckpt,
+                     "--fail-after", "CollectPartials"]) == 3
+        captured = capsys.readouterr()
+        assert "pipeline crashed" in captured.err
+        assert "--resume" in captured.err
+
+        assert main(["run", points_file, "--partitions", "2",
+                     "--checkpoint-dir", ckpt, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+        assert "skipped" in out
+        assert "3 clusters" in out
+
+    def test_run_labels_match_cluster(self, points_file, tmp_path, capsys):
+        run_out = tmp_path / "run.txt"
+        cluster_out = tmp_path / "cluster.txt"
+        assert main(["run", points_file, "--partitions", "2",
+                     "--labels-out", str(run_out)]) == 0
+        assert main(["cluster", points_file, "--partitions", "2",
+                     "--labels-out", str(cluster_out)]) == 0
+        capsys.readouterr()
+        a = np.loadtxt(run_out, dtype=int)
+        b = np.loadtxt(cluster_out, dtype=int)
+        assert np.array_equal(a, b)
+
+    def test_invalid_config_one_line_error(self, points_file, capsys):
+        assert main(["run", points_file, "--eps", "-1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_sanitize_rejected_for_sequential(self, points_file, capsys):
+        assert main(["run", points_file, "--algorithm", "sequential",
+                     "--sanitize"]) == 1
+        assert "sanitize" in capsys.readouterr().err
+
+
 class TestHistoryErrors:
     def test_missing_file_one_line_error(self, tmp_path, capsys):
         assert main(["history", str(tmp_path / "nope.jsonl")]) == 1
