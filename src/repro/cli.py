@@ -341,8 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     li.add_argument("paths", nargs="*", default=["src"],
                     help="files or directories to scan (default: src)")
-    li.add_argument("--format", choices=("text", "json"), default="text",
-                    dest="fmt", help="report format")
+    li.add_argument("--format", choices=("text", "json", "sarif"),
+                    default="text", dest="fmt", help="report format")
     li.add_argument("--baseline", default=None, metavar="FILE",
                     help="baseline file grandfathering known findings "
                          "(default: lint-baseline.json when it exists)")
@@ -351,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "and exit 0")
     li.add_argument("--rules", action="store_true",
                     help="print the rule catalogue and exit")
+    li.add_argument("--stats", action="store_true",
+                    help="print per-rule finding counts and call-graph "
+                         "size (nodes/edges/SCCs) after the report")
     li.set_defaults(func=cmd_lint)
 
     return parser
@@ -395,6 +398,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         DEFAULT_BASELINE,
         BaselineError,
         LintError,
+        render_sarif,
         rule_catalogue,
         run_lint,
         write_baseline,
@@ -406,7 +410,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     baseline = args.baseline if args.baseline is not None else DEFAULT_BASELINE
     try:
-        report = run_lint(args.paths, baseline_path=baseline)
+        report = run_lint(args.paths, baseline_path=baseline,
+                          collect_stats=args.stats)
     except (LintError, BaselineError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -417,8 +422,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     if args.fmt == "json":
         print(report.render_json())
+    elif args.fmt == "sarif":
+        print(render_sarif(report))
     else:
         print(report.render_text())
+    if args.stats and args.fmt != "json":
+        print(report.render_stats(), file=sys.stderr)
     return 0 if report.clean else 1
 
 

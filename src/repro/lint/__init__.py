@@ -1,18 +1,28 @@
-"""Task-closure static analysis (``repro lint``).
+"""Whole-program static analysis (``repro lint``).
 
 Machine-checks the invariants the engine's correctness story rests on
 (DESIGN.md §8): task closures must not capture driver state or
-unpicklable objects, task-reachable code must be deterministic, and the
-paper-pipeline modules must stay shuffle-free.  Violations are
-`Finding`s; a committed baseline (`lint-baseline.json`) grandfathers
-known ones, and CI fails on anything new.
+unpicklable objects, task-reachable code must be deterministic, the
+paper pipeline must stay shuffle-free — *proven* from the
+interprocedural call graph and a static RDD-lineage pass rather than a
+path allowlist — task code must not read accumulators, mutate
+broadcasts, or invoke RDD actions, and every plan's stage contract
+chain must be complete and acyclic.  Violations are `Finding`s; a
+committed baseline (`lint-baseline.json`) grandfathers known ones, and
+CI fails on anything new (uploading SARIF so findings annotate diffs).
 
     from repro.lint import run_lint
     report = run_lint(["src"], baseline_path="lint-baseline.json")
     assert report.clean, report.render_text()
 """
 
-from .analyzer import LintError, discover_files, lint_file, run_lint
+from .analyzer import (
+    LintError,
+    build_project,
+    discover_files,
+    lint_file,
+    run_lint,
+)
 from .baseline import (
     DEFAULT_BASELINE,
     BaselineError,
@@ -20,9 +30,17 @@ from .baseline import (
     new_findings,
     write_baseline,
 )
+from .callgraph import Project, module_name_for
 from .closures import ModuleAnalysis, TaskFunction
 from .findings import Finding, LintReport
-from .rules import RULES, rule_catalogue, run_rules
+from .rules import (
+    PROJECT_RULES,
+    RULES,
+    rule_catalogue,
+    run_project_rules,
+    run_rules,
+)
+from .sarif import render_sarif, to_sarif
 
 __all__ = [
     "DEFAULT_BASELINE",
@@ -31,14 +49,21 @@ __all__ = [
     "LintError",
     "LintReport",
     "ModuleAnalysis",
+    "PROJECT_RULES",
+    "Project",
     "RULES",
     "TaskFunction",
+    "build_project",
     "discover_files",
     "lint_file",
     "load_baseline",
+    "module_name_for",
     "new_findings",
+    "render_sarif",
     "rule_catalogue",
     "run_lint",
+    "run_project_rules",
     "run_rules",
+    "to_sarif",
     "write_baseline",
 ]

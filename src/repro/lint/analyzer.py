@@ -1,13 +1,24 @@
 """Driving the linter: file discovery, parsing, pragmas, reports.
 
-`repro lint [paths]` funnels through `run_lint`, which scans ``.py``
-files, runs the rule catalogue (`repro.lint.rules`) over each module's
-closure analysis, drops findings covered by inline allow pragmas, and
-diffs the rest against the committed baseline.
+`repro lint [paths]` funnels through `run_lint`, which parses every
+``.py`` file, stitches the per-module analyses into one whole-program
+`repro.lint.callgraph.Project`, runs the per-module rule catalogue
+(with the project-widened task-reachable sets) plus the whole-program
+rules (`repro.lint.rules.PROJECT_RULES`), drops findings covered by
+inline allow pragmas, and diffs the rest against the committed
+baseline.
 
 Allowlist pragma — on the finding's line or the line directly above::
 
     t0 = time.time()  # lint: allow[DET001] driver-side wall clock
+
+For *module-level* statements the pragma may sit on any line of the
+statement (or directly above it), so multi-line module-level constructs
+— a parenthesized RDD chain, a long import list — can carry the pragma
+on their trailing line::
+
+    EDGES = (sc.parallelize(pairs)
+             .group_by_key())  # lint: allow[SHF001] offline tooling
 
 Multiple rules: ``# lint: allow[DET001,CAP001]``.  Pragmas are the
 intended channel for *intentional* exceptions; whole-rule suppression
@@ -21,9 +32,10 @@ import os
 import re
 
 from .baseline import load_baseline, new_findings
+from .callgraph import Project, module_name_for
 from .closures import ModuleAnalysis
 from .findings import Finding, LintReport
-from .rules import run_rules
+from .rules import run_project_rules, run_rules
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 
@@ -53,10 +65,66 @@ def discover_files(paths: list[str]) -> list[str]:
     return out
 
 
-def _allowed_rules(source_lines: list[str], line: int) -> set[str]:
-    """Rules allow-listed for a 1-based line (same line or the one above)."""
+def build_project(files: list[str]) -> Project:
+    """Parse every file and assemble the whole-program project."""
+    units: list[tuple[str, ModuleAnalysis]] = []
+    taken: set[str] = set()
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                source = f.read()
+        except OSError as exc:
+            raise LintError(f"cannot read {path!r}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(
+                f"syntax error in {path!r}: {exc.msg} (line {exc.lineno})"
+            ) from exc
+        norm = path.replace(os.sep, "/")
+        name = module_name_for(path)
+        # Same-named modules from disjoint scan roots (bare fixture
+        # files, conftest.py) must not shadow each other in the project.
+        n = 0
+        while name in taken:
+            n += 1
+            name = f"{module_name_for(path)}~{n}"
+        taken.add(name)
+        units.append((name, ModuleAnalysis(norm, source, tree)))
+    return Project(units)
+
+
+# Statement kinds whose whole span may carry a pragma.  Compound
+# statements (class/def/if/for/...) are excluded on purpose: a pragma
+# buried in a class body must not suppress findings across the class.
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr,
+    ast.Import, ast.ImportFrom, ast.Assert, ast.Delete,
+)
+
+
+def _module_spans(analysis: ModuleAnalysis) -> list[tuple[int, int]]:
+    """(lineno, end_lineno) of every *simple* module-level statement."""
+    return [
+        (stmt.lineno, getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno)
+        for stmt in analysis.tree.body
+        if isinstance(stmt, _SIMPLE_STMTS)
+    ]
+
+
+def _allowed_rules(
+    source_lines: list[str], line: int, spans: list[tuple[int, int]]
+) -> set[str]:
+    """Rules allow-listed for a 1-based line: the line itself, the line
+    above, and — when the line falls inside a module-level statement —
+    any line of that statement (or the line above it)."""
+    candidates = {line, line - 1}
+    for start, end in spans:
+        if start <= line <= end:
+            candidates.update(range(start - 1, end + 1))
+            break
     out: set[str] = set()
-    for lineno in (line, line - 1):
+    for lineno in candidates:
         if 1 <= lineno <= len(source_lines):
             m = _PRAGMA_RE.search(source_lines[lineno - 1])
             if m:
@@ -64,33 +132,67 @@ def _allowed_rules(source_lines: list[str], line: int) -> set[str]:
     return out
 
 
-def lint_file(path: str) -> list[Finding]:
-    """Lint one file; pragma-allowed findings are dropped."""
-    try:
-        with open(path, encoding="utf-8") as f:
-            source = f.read()
-    except OSError as exc:
-        raise LintError(f"cannot read {path!r}: {exc}") from exc
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise LintError(f"syntax error in {path!r}: {exc.msg} (line {exc.lineno})") from exc
-    norm = path.replace(os.sep, "/")
-    analysis = ModuleAnalysis(norm, source, tree)
-    findings = run_rules(analysis)
-    lines = source.splitlines()
-    kept = [f for f in findings if f.rule not in _allowed_rules(lines, f.line)]
-    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+def _collect_findings(project: Project) -> list[Finding]:
+    """Module + project rules, pragma-filtered, in (path, line) order."""
+    # Widen every module's task-reachable set with the cross-module
+    # closure before the per-module rules run, so DET001 and the
+    # reachable-helper capture checks fire through helper modules.
+    task_reach = project.task_reachable_by_module()
+    by_path: dict[str, ModuleAnalysis] = {}
+    findings: list[Finding] = []
+    for name, analysis in project.modules.items():
+        analysis.task_reachable |= task_reach.get(name, set())
+        by_path[analysis.path] = analysis
+    for analysis in project.modules.values():
+        findings.extend(run_rules(analysis))
+    findings.extend(run_project_rules(project))
+    kept: list[Finding] = []
+    span_cache: dict[str, tuple[list[str], list[tuple[int, int]]]] = {}
+    for f in findings:
+        analysis = by_path.get(f.path)
+        if analysis is None:
+            kept.append(f)
+            continue
+        if f.path not in span_cache:
+            span_cache[f.path] = (
+                analysis.source.splitlines(),
+                _module_spans(analysis),
+            )
+        lines, spans = span_cache[f.path]
+        if f.rule not in _allowed_rules(lines, f.line, spans):
+            kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return kept
 
 
-def run_lint(paths: list[str], baseline_path: str | None = None) -> LintReport:
+def lint_file(path: str) -> list[Finding]:
+    """Lint one file as a single-module project; pragma-allowed
+    findings are dropped."""
+    if not os.path.isfile(path):
+        raise LintError(f"no such file or directory: {path!r}")
+    return _collect_findings(build_project([path]))
+
+
+def run_lint(
+    paths: list[str],
+    baseline_path: str | None = None,
+    collect_stats: bool = False,
+) -> LintReport:
     """Lint all paths; diff against a baseline when one is given."""
     files = discover_files(paths)
-    findings: list[Finding] = []
-    for path in files:
-        findings.extend(lint_file(path))
+    project = build_project(files)
+    findings = _collect_findings(project)
     report = LintReport(findings=findings, files_scanned=len(files))
+    if collect_stats:
+        nodes, edges, sccs = project.graph_stats()
+        rule_counts: dict[str, int] = {}
+        for f in findings:
+            rule_counts[f.rule] = rule_counts.get(f.rule, 0) + 1
+        report.stats = {
+            "rules": dict(sorted(rule_counts.items())),
+            "graph": {"nodes": nodes, "edges": edges, "sccs": sccs},
+            "modules": len(project.modules),
+        }
     if baseline_path is not None and os.path.exists(baseline_path):
         baseline = load_baseline(baseline_path)
         report.baseline_path = baseline_path

@@ -16,12 +16,17 @@ source file:
   function they (transitively) call;
 - free-variable (capture) analysis: names a function reads that are
   bound in an enclosing function or module scope, with their inferred
-  types.
+  types;
+- the raw material the whole-program layer (`repro.lint.callgraph`)
+  builds on: a function table keyed by qualname, a class/method table,
+  import bindings that keep their relative-import level, and the task
+  arguments that could not be resolved inside this module (imported
+  functions handed straight to an RDD op).
 
-Everything is a heuristic over a single file — no imports are followed
-— but the heuristics are tuned to this repo's idioms and err toward
-silence on unknown types (rules only fire on *positively identified*
-hazards).
+Everything here is a heuristic over a single file — cross-module
+resolution lives in `repro.lint.callgraph.Project` — and the
+heuristics are tuned to this repo's idioms and err toward silence on
+unknown types (rules only fire on *positively identified* hazards).
 """
 
 from __future__ import annotations
@@ -144,6 +149,21 @@ class TaskFunction:
     call_line: int                  # line of the receiving call
 
 
+@dataclass
+class UnresolvedTaskArg:
+    """A name passed to an RDD op that is not a same-module function.
+
+    `repro.lint.callgraph.Project` retries the resolution with the
+    cross-module import table: an imported helper handed straight to
+    ``.map`` becomes a task function of its *defining* module.
+    """
+
+    name: str                       # dotted reference as written
+    via: str                        # RDD op that received it
+    call_line: int
+    scope: Scope                    # scope the call appears in
+
+
 class ModuleAnalysis:
     """Scope tree + task-function extraction for one parsed module."""
 
@@ -152,13 +172,31 @@ class ModuleAnalysis:
         self.source = source
         self.tree = tree
         self.import_aliases: dict[str, str] = {}   # local name -> dotted origin
+        # local name -> (module, symbol | None, relative level); symbol is
+        # None for plain ``import x.y`` bindings.  The level survives so
+        # the project layer can absolutize relative imports.
+        self.import_bindings: dict[str, tuple[str, str | None, int]] = {}
         self.module_scope = Scope(tree, "<module>", None)
         self._scope_of_node: dict[ast.AST, Scope] = {tree: self.module_scope}
         self._functions_by_scope: dict[ast.AST, Scope] = {}
         self._methods: dict[tuple[str, str], ast.AST] = {}  # (class, name) -> def
+        self.functions: dict[str, ast.AST] = {}    # qualname -> def node
+        self.classes: dict[str, dict[str, ast.AST]] = {}   # class -> methods
+        self._collected: set[int] = set()          # scopes with bindings done
+        self._return_memo: dict[ast.AST, str | None] = {}
+        self._return_guard: set[ast.AST] = set()
         self._build(tree, self.module_scope, class_name="")
-        self._collect_bindings(tree, self.module_scope)
+        # Bindings are collected *after* the whole scope tree exists so
+        # forward references (a function defined later in the file)
+        # still contribute call-return types.
+        self._ensure_bindings(self.module_scope)
+        for scope in self._functions_by_scope.values():
+            self._ensure_bindings(scope)
         self.task_functions: list[TaskFunction] = []
+        self.unresolved_task_args: list[UnresolvedTaskArg] = []
+        # Cross-module task functions injected by the project layer:
+        # functions of this module passed to RDD ops elsewhere.
+        self.extra_task_functions: list[TaskFunction] = []
         self._find_task_functions()
         self.task_reachable: set[ast.AST] = self._close_over_calls()
 
@@ -180,15 +218,17 @@ class ModuleAnalysis:
             scope.children.append(sub)
             self._scope_of_node[node] = sub
             self._functions_by_scope[node] = sub
+            self.functions[display] = node
             if class_name:
                 self._methods[(class_name, node.name)] = node
-            self._collect_bindings(node, sub)
+                self.classes.setdefault(class_name, {})[node.name] = node
             for stmt in node.body:
                 self._dispatch(stmt, sub, "")
         elif isinstance(node, ast.Lambda):
             self._build_lambda(node, scope)
         elif isinstance(node, ast.ClassDef):
             scope.locals.add(node.name)
+            self.classes.setdefault(node.name, {})
             self._build(node, scope, class_name=node.name)
         else:
             self._build(node, scope, class_name=class_name)
@@ -224,6 +264,11 @@ class ModuleAnalysis:
                 scope.locals.add(local)
                 origin = alias.name if alias.asname else alias.name.split(".")[0]
                 self.import_aliases[local] = origin
+                self.import_bindings[local] = (
+                    alias.name if alias.asname else alias.name.split(".")[0],
+                    None,
+                    0,
+                )
         elif isinstance(node, ast.ImportFrom):
             module = node.module or ""
             for alias in node.names:
@@ -232,6 +277,14 @@ class ModuleAnalysis:
                 self.import_aliases[local] = (
                     f"{module}.{alias.name}" if module else alias.name
                 )
+                self.import_bindings[local] = (module, alias.name, node.level)
+
+    def _ensure_bindings(self, scope: Scope) -> None:
+        """Collect a scope's bindings once; safe to call out of order."""
+        if id(scope) in self._collected:
+            return
+        self._collected.add(id(scope))
+        self._collect_bindings(scope.node, scope)
 
     def _collect_bindings(self, func: ast.AST, scope: Scope) -> None:
         """Locals + heuristic types for one function scope (non-nested part)."""
@@ -326,7 +379,8 @@ class ModuleAnalysis:
                 self.generic_visit(node)
 
         collector = Collector(self)
-        for stmt in getattr(func, "body", []):
+        body = [func.body] if isinstance(func, ast.Lambda) else getattr(func, "body", [])
+        for stmt in body:
             collector.visit(stmt)
 
     # -- type inference ------------------------------------------------------
@@ -357,6 +411,16 @@ class ModuleAnalysis:
             tail = resolved.split(".")[-1]
             if tail in _CTOR_TYPES:
                 return _CTOR_TYPES[tail]
+            # Call-return typing: ``make_rdd(sc).map(f)`` — the chain
+            # starts at whatever the same-module function returns.
+            target = self._resolve_function(func.id, scope)
+            if target is not None:
+                return self._return_type(target)
+            if tail[:1].isupper() and tail not in _BUILTIN_NAMES:
+                # Instance of a (possibly imported) class: tag it with
+                # the class name so method calls on it can be resolved
+                # by the project-level call graph.
+                return tail
             return None
         if isinstance(func, ast.Attribute):
             attr = func.attr
@@ -378,7 +442,52 @@ class ModuleAnalysis:
                 return "RDD"
             if attr in RDD_CHAIN_METHODS and recv_type == "RDD":
                 return "RDD"
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and scope.class_name
+            ):
+                target = self._methods.get((scope.class_name, attr))
+                if target is not None:
+                    return self._return_type(target)
         return None
+
+    def _return_type(self, func_node: ast.AST) -> str | None:
+        """Inferred type of a same-module function's return value.
+
+        The single tag every ``return`` expression agrees on, or None
+        when returns disagree or nothing is positively typed.  Memoized;
+        recursion (mutual or self) resolves to None.
+        """
+        if func_node in self._return_memo:
+            return self._return_memo[func_node]
+        if func_node in self._return_guard:
+            return None
+        self._return_guard.add(func_node)
+        try:
+            scope = self._scope_of_node.get(func_node)
+            if scope is None:
+                return None
+            self._ensure_bindings(scope)
+            if isinstance(func_node, ast.Lambda):
+                tags = {self._expr_type(func_node.body, scope)}
+            else:
+                tags = set()
+                stack: list[ast.AST] = list(getattr(func_node, "body", []))
+                while stack:
+                    sub = stack.pop()
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                        ast.Lambda)):
+                        continue   # nested scope: its returns are not ours
+                    if isinstance(sub, ast.Return) and sub.value is not None:
+                        tags.add(self._expr_type(sub.value, scope))
+                    stack.extend(ast.iter_child_nodes(sub))
+            tags.discard(None)
+            tag = tags.pop() if len(tags) == 1 else None
+            self._return_memo[func_node] = tag
+            return tag
+        finally:
+            self._return_guard.discard(func_node)
 
     def _receiver_is_rdd(self, call: ast.Call, scope: Scope) -> bool:
         """True when the call's receiver is positively RDD-typed."""
@@ -391,6 +500,14 @@ class ModuleAnalysis:
         if isinstance(recv, ast.Name) and recv.id.lower().endswith("rdd"):
             return True
         return False
+
+    def receiver_is_rdd(self, call: ast.Call, scope: Scope) -> bool:
+        """Public face of `_receiver_is_rdd` for the project-level rules."""
+        return self._receiver_is_rdd(call, scope)
+
+    def expr_type(self, expr: ast.AST, scope: Scope) -> str | None:
+        """Public face of `_expr_type` for the project-level rules."""
+        return self._expr_type(expr, scope)
 
     # -- task-function extraction -------------------------------------------
     def scope_of(self, node: ast.AST) -> Scope:
@@ -446,6 +563,16 @@ class ModuleAnalysis:
             if target is not None:
                 self.task_functions.append(
                     TaskFunction(self._scope_of_node[target], target, via, line)
+                )
+            else:
+                self.unresolved_task_args.append(
+                    UnresolvedTaskArg(arg.id, via, line, scope)
+                )
+        elif isinstance(arg, ast.Attribute):
+            dotted = raw_dotted(arg)
+            if dotted is not None:
+                self.unresolved_task_args.append(
+                    UnresolvedTaskArg(dotted, via, line, scope)
                 )
 
     def _resolve_function(self, name: str, scope: Scope) -> ast.AST | None:
@@ -532,6 +659,20 @@ class ModuleAnalysis:
 
 
 # -- small AST helpers -------------------------------------------------------
+
+def raw_dotted(expr: ast.AST) -> str | None:
+    """Dotted path exactly as written (``helpers.work``), no alias
+    expansion — the project layer absolutizes the base itself."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
 
 def _target_names(target: ast.AST) -> list[str]:
     if isinstance(target, ast.Name):

@@ -1,15 +1,18 @@
 """Lint findings: the unit of output of the task-closure analyzer.
 
 A `Finding` pins one rule violation to a file/line/symbol.  Its
-``fingerprint`` deliberately excludes line numbers so that committed
-baselines survive unrelated edits above the finding; duplicates of the
-same fingerprint are counted, not collapsed (see `repro.lint.baseline`).
+``fingerprint`` deliberately excludes line numbers *and* directories
+(only the file's basename participates) so that committed baselines
+survive unrelated edits above the finding and directory reshuffles
+around it; duplicates of the same fingerprint are counted, not
+collapsed (see `repro.lint.baseline`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import posixpath
 from dataclasses import dataclass, field
 
 
@@ -26,8 +29,10 @@ class Finding:
 
     @property
     def fingerprint(self) -> str:
-        """Stable identity for baseline matching (no line numbers)."""
-        raw = f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
+        """Stable identity for baseline matching: no line numbers, and
+        only the file's basename (directory renames keep it stable)."""
+        base = posixpath.basename(self.path.replace("\\", "/"))
+        raw = f"{self.rule}|{base}|{self.symbol}|{self.message}"
         return hashlib.sha1(raw.encode()).hexdigest()[:16]
 
     def render(self) -> str:
@@ -56,6 +61,9 @@ class LintReport:
     new: list[Finding] = field(default_factory=list)
     baseline_path: str | None = None
     files_scanned: int = 0
+    # Optional run statistics (``repro lint --stats``): per-rule finding
+    # counts plus call-graph size.  None unless requested.
+    stats: dict | None = None
 
     @property
     def clean(self) -> bool:
@@ -79,15 +87,33 @@ class LintReport:
         )
         return "\n".join(lines)
 
+    def render_stats(self) -> str:
+        """Human-readable run statistics (requires collect_stats)."""
+        if self.stats is None:
+            return "no statistics collected"
+        lines = ["per-rule findings:"]
+        rules = self.stats.get("rules", {})
+        if rules:
+            lines.extend(f"  {rid:8s} {n}" for rid, n in rules.items())
+        else:
+            lines.append("  (none)")
+        g = self.stats.get("graph", {})
+        lines.append(
+            f"call graph: {g.get('nodes', 0)} nodes, {g.get('edges', 0)} "
+            f"edges, {g.get('sccs', 0)} SCCs over "
+            f"{self.stats.get('modules', 0)} module(s)"
+        )
+        return "\n".join(lines)
+
     def render_json(self) -> str:
         """Machine-readable report for CI."""
-        return json.dumps(
-            {
-                "findings": [f.to_dict() for f in self.findings],
-                "new": [f.to_dict() for f in self.new],
-                "baseline": self.baseline_path,
-                "files_scanned": self.files_scanned,
-                "clean": self.clean,
-            },
-            indent=2,
-        )
+        payload = {
+            "findings": [f.to_dict() for f in self.findings],
+            "new": [f.to_dict() for f in self.new],
+            "baseline": self.baseline_path,
+            "files_scanned": self.files_scanned,
+            "clean": self.clean,
+        }
+        if self.stats is not None:
+            payload["stats"] = self.stats
+        return json.dumps(payload, indent=2)

@@ -1,0 +1,350 @@
+"""Static RDD-lineage dataflow rules: the whole-program half of §8.
+
+The paper's headline property — zero shuffles, driver-only merge via an
+accumulator (Algorithms 3-4) — used to be enforced by a hand-maintained
+path allowlist.  This module replaces that with a *proof obligation*
+discharged from the program itself:
+
+- ``SHF001`` shuffle-free — starting from the paper-pipeline entry
+  points (the `SparkDBSCAN`/`SpatialSparkDBSCAN` frontends plus every
+  stage class of the manifest's shuffle-free plans), close over the
+  interprocedural call graph (`repro.lint.callgraph.Project`) and flag
+  any wide-dependency RDD API in reachable code, and any import of the
+  shuffle subsystem in a module hosting reachable code.  The engine
+  package legitimately *contains* shuffle machinery (the naive baseline
+  uses it) — what the proof shows is that no path from the paper
+  pipeline ever reaches it, the same way a PySpark job proves nothing
+  about pyspark's own internals.
+
+Three task-dataflow rules ride on the same machinery, scanning every
+function transitively reachable from a task closure (across modules,
+engine substrate excluded — the engine polices itself at runtime via
+``--sanitize``):
+
+- ``ACC001`` accumulator-read-in-task — reading ``acc.value`` in task
+  code races the driver-side merge; the paper's accumulator is
+  write-only on executors (``add``), readable only after the action.
+- ``BRD001`` broadcast-mutation-in-task — mutating ``b.value`` in task
+  code diverges per executor and silently disappears on the processes
+  backend; broadcasts are immutable reference data.
+- ``ACT001`` action-in-task — invoking an RDD action inside a task
+  closure would nest a job inside a task; the lineage handle is driver
+  state and the call deadlocks or diverges under retries.
+
+Every rule fires only on *positively identified* hazards (typed
+receivers, resolved reachability); an unknown type stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from .findings import Finding
+from .plans import shuffle_free_stage_classes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .callgraph import Project
+
+# Paper-pipeline frontends; the stage classes of the shuffle-free plans
+# are added from the STAGE_MANIFEST at check time.
+BASE_ENTRY_CLASSES = frozenset({
+    "SparkDBSCAN",
+    "SpatialSparkDBSCAN",
+    "LocalExpand",
+    "CollectPartials",
+})
+
+# RDD APIs introducing a wide dependency (a shuffle stage).  The
+# distinctive names fire on any receiver; ``join`` only on a positively
+# RDD-typed one (os.path.join, str.join are everywhere).  CamelCase
+# aliases cover code written against the PySpark spelling.
+WIDE_DEP_DISTINCTIVE = frozenset({
+    "group_by_key", "reduce_by_key", "partition_by", "sort_by",
+    "distinct", "cogroup", "left_outer_join", "subtract_by_key",
+    "count_by_key",
+    "groupByKey", "reduceByKey", "partitionBy", "sortBy",
+    "leftOuterJoin", "subtractByKey", "countByKey",
+})
+WIDE_DEP_GENERIC = frozenset({"join"})
+
+# RDD APIs that launch a job (actions); fatal inside task code.
+RDD_ACTIONS = frozenset({
+    "collect", "count", "take", "first", "top", "take_ordered",
+    "take_sample", "reduce", "fold", "aggregate", "foreach",
+    "foreach_partition", "foreach_partition_with_index",
+    "count_by_value", "save_as_text_file",
+})
+
+# Methods that mutate their receiver in place (BRD001).
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+})
+
+
+def entry_classes(project: "Project") -> set[str]:
+    """SHF001 entry points: frontends + shuffle-free plan stages."""
+    return set(BASE_ENTRY_CLASSES) | shuffle_free_stage_classes(project)
+
+
+def _each_reachable(
+    project: "Project", reached: dict[str, set[ast.AST]]
+) -> Iterable[tuple[str, "ast.AST", object, object]]:
+    """(module, node, analysis, scope) per reachable application
+    function, in a deterministic order."""
+    from .callgraph import is_substrate
+
+    for module in sorted(reached):
+        if is_substrate(module):
+            continue
+        analysis = project.modules[module]
+        for node in sorted(reached[module], key=lambda n: (n.lineno, n.col_offset)):
+            yield module, node, analysis, analysis.scope_of(node)
+
+
+def _walk_body(node: ast.AST) -> Iterable[ast.AST]:
+    """Every AST node lexically inside a function, the function's own
+    header excluded.  Nested defs are *included*: code written inside a
+    reachable function runs (or is shipped) with it, and findings are
+    deduplicated by location across overlapping walks."""
+    roots = [node.body] if isinstance(node, ast.Lambda) else list(
+        getattr(node, "body", [])
+    )
+    for root in roots:
+        yield from ast.walk(root)
+
+
+class _Dedup:
+    """Location-keyed dedup: overlapping reachability walks (a nested
+    def is both inside its parent and a graph node) report once."""
+
+    def __init__(self) -> None:
+        self._seen: set[tuple[str, str, int, int]] = set()
+
+    def first(self, rule: str, path: str, line: int, col: int) -> bool:
+        key = (rule, path, line, col)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+
+def check_shuffle_free(project: "Project") -> list[Finding]:
+    """SHF001: prove the paper pipeline shuffle-free from the graph."""
+    from .callgraph import is_substrate
+
+    entries = entry_classes(project)
+    reached = project.reachable_from(entries)
+    out: list[Finding] = []
+    dedup = _Dedup()
+
+    # (a) wide-dependency APIs in entry-reachable code.
+    for _module, node, analysis, scope in _each_reachable(project, reached):
+        for sub in _walk_body(node):
+            if not (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)):
+                continue
+            attr = sub.func.attr
+            wide = attr in WIDE_DEP_DISTINCTIVE or (
+                attr in WIDE_DEP_GENERIC and analysis.receiver_is_rdd(sub, scope)
+            )
+            if not wide:
+                continue
+            if not dedup.first("SHF001", analysis.path, sub.lineno, sub.col_offset):
+                continue
+            out.append(
+                Finding(
+                    rule="SHF001",
+                    path=analysis.path,
+                    line=sub.lineno,
+                    col=sub.col_offset,
+                    message=(
+                        f".{attr}() introduces a wide dependency (a shuffle "
+                        "stage) and is reachable from the paper pipeline, "
+                        "which is shuffle-free by construction "
+                        "(Algorithms 3-4)"
+                    ),
+                    symbol=scope.name,
+                )
+            )
+
+    # (b) shuffle-subsystem imports in any module hosting reachable
+    # code or defining an entry-point class.
+    hosting = (set(reached) | project.entry_modules(entries))
+    for module in sorted(hosting):
+        if is_substrate(module):
+            continue
+        analysis = project.modules[module]
+        for node in ast.walk(analysis.tree):
+            names: list[str] = []
+            if isinstance(node, ast.ImportFrom):
+                names = [
+                    f"{node.module}.{alias.name}" if node.module else alias.name
+                    for alias in node.names
+                ]
+            elif isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            for dotted in names:
+                if "shuffle" not in dotted.split("."):
+                    continue
+                if not dedup.first(
+                    "SHF001", analysis.path, node.lineno, node.col_offset
+                ):
+                    continue
+                out.append(
+                    Finding(
+                        rule="SHF001",
+                        path=analysis.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"import of {dotted!r} in a module hosting "
+                            "paper-pipeline code: the pipeline is "
+                            "shuffle-free by construction (Algorithms 3-4); "
+                            "no shuffle code may enter it"
+                        ),
+                    )
+                )
+                break
+    return out
+
+
+def _broadcast_value_root(
+    expr: ast.AST, analysis, scope
+) -> ast.Name | None:
+    """The Broadcast-typed Name under a ``b.value[...]...`` chain."""
+    node = expr
+    while True:
+        if isinstance(node, ast.Attribute):
+            if node.attr == "value" and isinstance(node.value, ast.Name):
+                if analysis.expr_type(node.value, scope) == "Broadcast":
+                    return node.value
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            return None
+
+
+def _task_dataflow(
+    project: "Project",
+    visit: Callable[[object, object, ast.AST, list[Finding], _Dedup], None],
+) -> list[Finding]:
+    """Run a per-node visitor over all task-reachable application code."""
+    reached = project.task_reachable_by_module()
+    out: list[Finding] = []
+    dedup = _Dedup()
+    for _module, node, analysis, scope in _each_reachable(project, reached):
+        for sub in _walk_body(node):
+            visit(analysis, scope, sub, out, dedup)
+    return out
+
+
+def check_accumulator_reads(project: "Project") -> list[Finding]:
+    """ACC001: ``acc.value`` reads inside task-reachable code."""
+
+    def visit(analysis, scope, sub, out, dedup) -> None:
+        if not (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "value"
+            and isinstance(sub.ctx, ast.Load)
+            and isinstance(sub.value, ast.Name)
+        ):
+            return
+        if analysis.expr_type(sub.value, scope) != "Accumulator":
+            return
+        if not dedup.first("ACC001", analysis.path, sub.lineno, sub.col_offset):
+            return
+        out.append(
+            Finding(
+                rule="ACC001",
+                path=analysis.path,
+                line=sub.lineno,
+                col=sub.col_offset,
+                message=(
+                    f"reads {sub.value.id!r}.value in task code: accumulators "
+                    "are write-only on executors (add) and merged on the "
+                    "driver; the value here is a partial, attempt-dependent "
+                    "snapshot"
+                ),
+                symbol=scope.name,
+            )
+        )
+
+    return _task_dataflow(project, visit)
+
+
+def check_broadcast_mutations(project: "Project") -> list[Finding]:
+    """BRD001: mutation of a broadcast value inside task code."""
+
+    def emit(analysis, scope, name_node, line, col, how, out, dedup) -> None:
+        if not dedup.first("BRD001", analysis.path, line, col):
+            return
+        out.append(
+            Finding(
+                rule="BRD001",
+                path=analysis.path,
+                line=line,
+                col=col,
+                message=(
+                    f"{how} {name_node.id!r}.value in task code: broadcasts "
+                    "are immutable reference data; executor-local writes "
+                    "diverge per attempt and never reach the driver"
+                ),
+                symbol=scope.name,
+            )
+        )
+
+    def visit(analysis, scope, sub, out, dedup) -> None:
+        if isinstance(sub, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign)
+                else [sub.target] if isinstance(sub, ast.AugAssign)
+                else sub.targets
+            )
+            how = "deletes from" if isinstance(sub, ast.Delete) else "assigns into"
+            for target in targets:
+                root = _broadcast_value_root(target, analysis, scope)
+                if root is not None:
+                    emit(analysis, scope, root, sub.lineno, sub.col_offset,
+                         how, out, dedup)
+        elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr not in _MUTATOR_METHODS:
+                return
+            root = _broadcast_value_root(sub.func.value, analysis, scope)
+            if root is not None:
+                emit(analysis, scope, root, sub.lineno, sub.col_offset,
+                     f"calls .{sub.func.attr}() on", out, dedup)
+
+    return _task_dataflow(project, visit)
+
+
+def check_rdd_actions(project: "Project") -> list[Finding]:
+    """ACT001: RDD actions invoked inside task-reachable code."""
+
+    def visit(analysis, scope, sub, out, dedup) -> None:
+        if not (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)):
+            return
+        if sub.func.attr not in RDD_ACTIONS:
+            return
+        if not analysis.receiver_is_rdd(sub, scope):
+            return
+        if not dedup.first("ACT001", analysis.path, sub.lineno, sub.col_offset):
+            return
+        out.append(
+            Finding(
+                rule="ACT001",
+                path=analysis.path,
+                line=sub.lineno,
+                col=sub.col_offset,
+                message=(
+                    f".{sub.func.attr}() is an RDD action invoked inside "
+                    "task code: it would nest a job in a task; the lineage "
+                    "handle is driver state (collect on the driver, ship "
+                    "data into the closure instead)"
+                ),
+                symbol=scope.name,
+            )
+        )
+
+    return _task_dataflow(project, visit)

@@ -1,0 +1,240 @@
+"""Static plan-contract checking (PLN001/PLN002) and manifest parsing.
+
+`repro.pipeline.plans` mirrors its plan compositions into a pure-literal
+``STAGE_MANIFEST`` (plan name → tuple of stage *class* names) plus
+``SHUFFLE_FREE_PLANS``.  This module reads both straight off the AST —
+no import, no execution — joins them with the ``name``/``requires``/
+``provides`` class-attribute literals of the stage classes themselves,
+and verifies every plan's dataflow chain:
+
+- ``PLN001`` plan-contract-incomplete — a manifest entry names a stage
+  class no scanned module defines, a stage's requirement is provided by
+  no stage at all, or two stages in one plan share a runtime stage name
+  (checkpoint keys would collide);
+- ``PLN002`` plan-contract-cycle — a requirement is provided only by a
+  *later* stage: the chain is complete but the ordering is circular, so
+  the plan can never run front to back.
+
+The manifest also feeds `repro.lint.lineage`: the stage classes of the
+shuffle-free plans are SHF001 entry points, so adding a stage to the
+``spark``/``spatial`` compositions automatically puts it under the
+zero-shuffle contract.
+
+The check is deliberately against the *class-default* contracts; a
+constructor override (``BuildIndex(requires=("points", "perm"))``) can
+only narrow scheduling within an already-valid plan, and the runtime
+`Plan.__post_init__` + runner validation cover the instance level.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .callgraph import Project
+
+STAGE_MANIFEST_NAME = "STAGE_MANIFEST"
+SHUFFLE_FREE_NAME = "SHUFFLE_FREE_PLANS"
+
+
+@dataclass(frozen=True)
+class StageContract:
+    """A stage class's static dataflow contract (class-attr literals)."""
+
+    class_name: str
+    module: str
+    path: str
+    lineno: int
+    stage_name: str                 # runtime ``name`` attr ("" if absent)
+    requires: tuple[str, ...]
+    provides: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PlanManifest:
+    """One module's ``STAGE_MANIFEST`` + ``SHUFFLE_FREE_PLANS`` literals."""
+
+    module: str
+    path: str
+    # plan name -> [(stage class name, line of the literal)], in order
+    plans: dict[str, list[tuple[str, int]]]
+    shuffle_free: tuple[str, ...]
+
+
+def _string_tuple(node: ast.AST) -> tuple[str, ...] | None:
+    """A Tuple/List of string constants, or None when anything else."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out: list[str] = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        out.append(elt.value)
+    return tuple(out)
+
+
+def stage_contracts(project: "Project") -> dict[str, StageContract]:
+    """Class-default contracts of every top-level class declaring one.
+
+    Only classes assigning a literal ``requires`` or ``provides`` class
+    attribute participate; the first definition of a name wins (stage
+    class names are unique in this repo).
+    """
+    out: dict[str, StageContract] = {}
+    for module, analysis in project.modules.items():
+        for node in analysis.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs: dict[str, tuple[str, ...]] = {}
+            stage_name = ""
+            for stmt in node.body:
+                if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                    continue
+                target = stmt.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "name":
+                    if isinstance(stmt.value, ast.Constant) and isinstance(
+                        stmt.value.value, str
+                    ):
+                        stage_name = stmt.value.value
+                elif target.id in ("requires", "provides"):
+                    keys = _string_tuple(stmt.value)
+                    if keys is not None:
+                        attrs[target.id] = keys
+            if not attrs:
+                continue
+            out.setdefault(
+                node.name,
+                StageContract(
+                    class_name=node.name,
+                    module=module,
+                    path=analysis.path,
+                    lineno=node.lineno,
+                    stage_name=stage_name,
+                    requires=attrs.get("requires", ()),
+                    provides=attrs.get("provides", ()),
+                ),
+            )
+    return out
+
+
+def manifests(project: "Project") -> list[PlanManifest]:
+    """Every ``STAGE_MANIFEST`` literal in the scanned modules."""
+    out: list[PlanManifest] = []
+    for module, analysis in project.modules.items():
+        plans: dict[str, list[tuple[str, int]]] = {}
+        shuffle_free: tuple[str, ...] = ()
+        for node in analysis.tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == STAGE_MANIFEST_NAME and isinstance(node.value, ast.Dict):
+                for key, value in zip(node.value.keys, node.value.values):
+                    if not (
+                        isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    ):
+                        continue
+                    if not isinstance(value, (ast.Tuple, ast.List)):
+                        continue
+                    entries: list[tuple[str, int]] = []
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            entries.append((elt.value, elt.lineno))
+                    plans[key.value] = entries
+            elif target.id == SHUFFLE_FREE_NAME:
+                keys = _string_tuple(node.value)
+                if keys is not None:
+                    shuffle_free = keys
+        if plans:
+            out.append(
+                PlanManifest(
+                    module=module,
+                    path=analysis.path,
+                    plans=plans,
+                    shuffle_free=shuffle_free,
+                )
+            )
+    return out
+
+
+def shuffle_free_stage_classes(project: "Project") -> set[str]:
+    """Stage class names composing the shuffle-free plans — SHF001
+    entry points derived from the manifest, not hand-maintained."""
+    out: set[str] = set()
+    for manifest in manifests(project):
+        for plan in manifest.shuffle_free:
+            out.update(cls for cls, _line in manifest.plans.get(plan, []))
+    return out
+
+
+def check_plan_contracts(
+    project: "Project", rules: tuple[str, ...] = ("PLN001", "PLN002")
+) -> list[Finding]:
+    """Verify every manifest plan's needs/provides chain statically."""
+    contracts = stage_contracts(project)
+    out: list[Finding] = []
+
+    def emit(rule: str, path: str, line: int, message: str, plan: str) -> None:
+        if rule in rules:
+            out.append(
+                Finding(
+                    rule=rule, path=path, line=line, col=0,
+                    message=message, symbol=f"plan:{plan}",
+                )
+            )
+
+    for manifest in manifests(project):
+        for plan, entries in manifest.plans.items():
+            seq = [(cls, line, contracts.get(cls)) for cls, line in entries]
+            seen_names: set[str] = set()
+            available: set[str] = set()
+            for idx, (cls, line, contract) in enumerate(seq):
+                if contract is None:
+                    emit(
+                        "PLN001", manifest.path, line,
+                        f"stage class {cls!r} is not defined in any scanned "
+                        "module; the plan cannot be constructed", plan,
+                    )
+                    continue
+                runtime_name = contract.stage_name or cls
+                if runtime_name in seen_names:
+                    emit(
+                        "PLN001", manifest.path, line,
+                        f"stage {cls!r} reuses runtime stage name "
+                        f"{runtime_name!r}; checkpoint keys would collide",
+                        plan,
+                    )
+                seen_names.add(runtime_name)
+                for req in contract.requires:
+                    if req in available:
+                        continue
+                    provided_later = any(
+                        later is not None and req in later.provides
+                        for _cls, _line, later in seq[idx + 1:]
+                    )
+                    if provided_later:
+                        emit(
+                            "PLN002", manifest.path, line,
+                            f"stage {cls!r} requires {req!r}, which is "
+                            "provided only by a later stage: the contract "
+                            "chain is circular, the plan can never run "
+                            "front to back", plan,
+                        )
+                    else:
+                        emit(
+                            "PLN001", manifest.path, line,
+                            f"stage {cls!r} requires {req!r}, which no "
+                            "stage in the plan provides: the chain is "
+                            "incomplete", plan,
+                        )
+                available |= set(contract.provides)
+    return out

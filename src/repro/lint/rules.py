@@ -1,13 +1,18 @@
 """The rule catalogue of the task-closure linter.
 
 Each rule checks one invariant the engine's retry/speculation/shipping
-machinery relies on (DESIGN.md §8):
+machinery relies on (DESIGN.md §8).  Rules come in two kinds:
+
+*Module rules* run over one `ModuleAnalysis` — after the project layer
+has injected cross-module task functions and widened the task-reachable
+set, so they fire through helper modules too:
 
 - ``CAP001`` capture-driver-state — functions passed to RDD operations
-  must not capture driver-side engine objects (`SparkContext`, `RDD`,
-  `EventLog`, block/shuffle managers).  Tasks are retried, speculated,
-  and (on the processes backend) cloudpickled; captured driver state
-  either fails to serialize or silently diverges per executor.
+  (and everything they transitively call) must not capture driver-side
+  engine objects (`SparkContext`, `RDD`, `EventLog`, block/shuffle
+  managers).  Tasks are retried, speculated, and (on the processes
+  backend) cloudpickled; captured driver state either fails to
+  serialize or silently diverges per executor.
 - ``PCK001`` capture-unpicklable — task closures must not capture
   locks, open file handles, threads, or sockets: the processes backend
   cloudpickles closures, and these types do not survive the trip.
@@ -17,10 +22,17 @@ machinery relies on (DESIGN.md §8):
   attempt must produce byte-identical output, or label-equivalence
   tests are meaningless.  Driver-only uses are not flagged; intentional
   exceptions carry a ``# lint: allow[DET001]`` pragma.
-- ``SHF001`` shuffle-free — the paper-pipeline executor path
-  (`dbscan/spark_job.py`, `dbscan/spatial.py`, `dbscan/partial.py`)
-  must not import the shuffle subsystem or call wide-dependency RDD
-  APIs: zero shuffles is the paper's headline property (Algorithms 3–4).
+
+*Project rules* run once over the whole `repro.lint.callgraph.Project`:
+
+- ``SHF001`` shuffle-free (`repro.lint.lineage`) — proven from the
+  interprocedural call graph: no wide-dependency RDD API or shuffle
+  import reachable from the paper-pipeline entry points.
+- ``ACC001``/``BRD001``/``ACT001`` task-dataflow (`repro.lint.lineage`)
+  — accumulator reads, broadcast mutations, and RDD actions inside
+  task-reachable code.
+- ``PLN001``/``PLN002`` plan contracts (`repro.lint.plans`) — every
+  manifest plan's Stage needs/provides chain is complete and acyclic.
 
 Rules only fire on *positively identified* hazards — an unknown type
 never triggers a finding.
@@ -28,11 +40,20 @@ never triggers a finding.
 
 from __future__ import annotations
 
-import ast
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from .closures import ModuleAnalysis, _calls_in
+from .closures import ModuleAnalysis, TaskFunction, _calls_in
 from .findings import Finding
+from .lineage import (
+    check_accumulator_reads,
+    check_broadcast_mutations,
+    check_rdd_actions,
+    check_shuffle_free,
+)
+from .plans import check_plan_contracts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .callgraph import Project
 
 # Captured types that are driver state (semantic hazard).
 DRIVER_STATE_TYPES = {
@@ -92,44 +113,15 @@ NONDET_CALLS = {
 # Callables that are fine *seeded* but nondeterministic with no argument.
 SEEDABLE_CTORS = {"random.Random", "numpy.random.default_rng"}
 
-# Executor-path modules under the shuffle-free contract (path suffixes).
-SHUFFLE_FREE_MODULES = (
-    "dbscan/spark_job.py",
-    "dbscan/spatial.py",
-    "dbscan/partial.py",
-    # The SEED pipeline itself: every stage of the paper's driver
-    # sequence must stay shuffle-free.  The shuffle-based baselines live
-    # in pipeline/stages_naive.py and pipeline/stages_mapreduce.py,
-    # deliberately outside this contract.
-    "pipeline/config.py",
-    "pipeline/checkpoint.py",
-    "pipeline/state.py",
-    "pipeline/stages.py",
-    "pipeline/plans.py",
-    "pipeline/runner.py",
-)
-
-# RDD APIs introducing a wide dependency (a shuffle stage).
-WIDE_DEP_APIS = {
-    "partition_by",
-    "group_by_key",
-    "reduce_by_key",
-    "distinct",
-    "sort_by",
-    "join",
-    "cogroup",
-    "left_outer_join",
-    "subtract_by_key",
-    "count_by_key",
-}
-
 
 RuleFn = Callable[[ModuleAnalysis], list[Finding]]
+ProjectRuleFn = Callable[["Project"], list[Finding]]
 RULES: dict[str, tuple[str, RuleFn]] = {}
+PROJECT_RULES: dict[str, tuple[str, ProjectRuleFn]] = {}
 
 
 def rule(rule_id: str, summary: str) -> Callable[[RuleFn], RuleFn]:
-    """Register a rule implementation under its id."""
+    """Register a per-module rule implementation under its id."""
 
     def deco(fn: RuleFn) -> RuleFn:
         RULES[rule_id] = (summary, fn)
@@ -138,61 +130,92 @@ def rule(rule_id: str, summary: str) -> Callable[[RuleFn], RuleFn]:
     return deco
 
 
+def project_rule(rule_id: str, summary: str, fn: ProjectRuleFn) -> None:
+    """Register a whole-program rule implementation under its id."""
+    PROJECT_RULES[rule_id] = (summary, fn)
+
+
 def _task_scopes(analysis: ModuleAnalysis):
-    """(task fn node, scope, via-op) without duplicates."""
+    """(task fn node, scope, via-op) without duplicates — local task
+    functions plus cross-module ones injected by the project layer."""
     seen: set[int] = set()
-    for tf in analysis.task_functions:
+    for tf in analysis.task_functions + analysis.extra_task_functions:
         if id(tf.node) in seen:
             continue
         seen.add(id(tf.node))
         yield tf
 
 
-@rule("CAP001", "task closure captures driver-side engine state")
-def check_driver_state_capture(analysis: ModuleAnalysis) -> list[Finding]:
+def _capture_findings(
+    analysis: ModuleAnalysis,
+    rule_id: str,
+    hazards: dict[str, str],
+    render: Callable[[TaskFunction | None, str, str], str],
+) -> list[Finding]:
+    """Capture-rule core shared by CAP001/PCK001: check the captures of
+    every task function, then of every further task-reachable helper."""
     out: list[Finding] = []
+    direct: set[int] = set()
     for tf in _task_scopes(analysis):
+        direct.add(id(tf.node))
         for name, node, binder in analysis.captures(tf.node):
             tag = binder.types.get(name)
-            if tag in DRIVER_STATE_TYPES:
+            if tag in hazards:
                 out.append(
                     Finding(
-                        rule="CAP001",
+                        rule=rule_id,
                         path=analysis.path,
                         line=node.lineno,
                         col=node.col_offset,
-                        message=(
-                            f"task function passed to .{tf.via}() captures "
-                            f"{name!r}, {DRIVER_STATE_TYPES[tag]}"
-                        ),
+                        message=render(tf, name, tag),
                         symbol=tf.scope.name,
                     )
                 )
+    for func_node in analysis.task_reachable:
+        if id(func_node) in direct:
+            continue
+        scope = analysis.scope_of(func_node)
+        for name, node, binder in analysis.captures(func_node):
+            tag = binder.types.get(name)
+            if tag in hazards:
+                out.append(
+                    Finding(
+                        rule=rule_id,
+                        path=analysis.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=render(None, name, tag),
+                        symbol=scope.name,
+                    )
+                )
     return out
+
+
+@rule("CAP001", "task closure captures driver-side engine state")
+def check_driver_state_capture(analysis: ModuleAnalysis) -> list[Finding]:
+    def render(tf: TaskFunction | None, name: str, tag: str) -> str:
+        where = (
+            f"task function passed to .{tf.via}()" if tf is not None
+            else "function reachable from task code"
+        )
+        return f"{where} captures {name!r}, {DRIVER_STATE_TYPES[tag]}"
+
+    return _capture_findings(analysis, "CAP001", DRIVER_STATE_TYPES, render)
 
 
 @rule("PCK001", "task closure captures an unpicklable object")
 def check_unpicklable_capture(analysis: ModuleAnalysis) -> list[Finding]:
-    out: list[Finding] = []
-    for tf in _task_scopes(analysis):
-        for name, node, binder in analysis.captures(tf.node):
-            tag = binder.types.get(name)
-            if tag in UNPICKLABLE_TYPES:
-                out.append(
-                    Finding(
-                        rule="PCK001",
-                        path=analysis.path,
-                        line=node.lineno,
-                        col=node.col_offset,
-                        message=(
-                            f"task function passed to .{tf.via}() captures "
-                            f"{name!r}, {UNPICKLABLE_TYPES[tag]}; the processes "
-                            "backend cannot cloudpickle it"
-                        ),
-                        symbol=tf.scope.name,
-                    )
-                )
-    return out
+    def render(tf: TaskFunction | None, name: str, tag: str) -> str:
+        where = (
+            f"task function passed to .{tf.via}()" if tf is not None
+            else "function reachable from task code"
+        )
+        return (
+            f"{where} captures {name!r}, {UNPICKLABLE_TYPES[tag]}; "
+            "the processes backend cannot cloudpickle it"
+        )
+
+    return _capture_findings(analysis, "PCK001", UNPICKLABLE_TYPES, render)
 
 
 @rule("DET001", "nondeterministic call reachable from task code")
@@ -242,99 +265,56 @@ def check_task_determinism(analysis: ModuleAnalysis) -> list[Finding]:
     return out
 
 
-def _is_benign_join(func: ast.Attribute) -> bool:
-    """True for ``join`` calls that are not RDD joins: ``os.path.join``
-    (and friends) and string-literal ``", ".join(...)``."""
-    if func.attr != "join":
-        return False
-    recv = func.value
-    if isinstance(recv, ast.Constant) and isinstance(recv.value, str):
-        return True
-    if isinstance(recv, ast.Attribute) and recv.attr == "path":
-        return True
-    return isinstance(recv, ast.Name) and recv.id in (
-        "os", "posixpath", "ntpath", "sep",
-    )
-
-
-@rule("SHF001", "shuffle machinery referenced from a shuffle-free module")
-def check_shuffle_free(analysis: ModuleAnalysis) -> list[Finding]:
-    path = analysis.path.replace("\\", "/")
-    if not any(path.endswith(suffix) for suffix in SHUFFLE_FREE_MODULES):
-        return []
-    out: list[Finding] = []
-    for node in ast.walk(analysis.tree):
-        if isinstance(node, ast.ImportFrom):
-            module = node.module or ""
-            if module.split(".")[-1] == "shuffle":
-                out.append(
-                    Finding(
-                        rule="SHF001",
-                        path=analysis.path,
-                        line=node.lineno,
-                        col=node.col_offset,
-                        message=(
-                            f"import from {module!r}: the paper pipeline is "
-                            "shuffle-free by construction (Algorithms 3-4); no "
-                            "shuffle code may enter this module"
-                        ),
-                    )
-                )
-            for alias in node.names:
-                if alias.name == "shuffle":
-                    out.append(
-                        Finding(
-                            rule="SHF001",
-                            path=analysis.path,
-                            line=node.lineno,
-                            col=node.col_offset,
-                            message=(
-                                "imports the shuffle module: the paper pipeline "
-                                "is shuffle-free by construction (Algorithms 3-4)"
-                            ),
-                        )
-                    )
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.split(".")[-1] == "shuffle":
-                    out.append(
-                        Finding(
-                            rule="SHF001",
-                            path=analysis.path,
-                            line=node.lineno,
-                            col=node.col_offset,
-                            message=(
-                                f"import {alias.name!r}: the paper pipeline is "
-                                "shuffle-free by construction (Algorithms 3-4)"
-                            ),
-                        )
-                    )
-        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr in WIDE_DEP_APIS and not _is_benign_join(node.func):
-                out.append(
-                    Finding(
-                        rule="SHF001",
-                        path=analysis.path,
-                        line=node.lineno,
-                        col=node.col_offset,
-                        message=(
-                            f".{node.func.attr}() introduces a wide dependency "
-                            "(a shuffle stage); the paper pipeline must stay "
-                            "shuffle-free"
-                        ),
-                    )
-                )
-    return out
+project_rule(
+    "SHF001",
+    "shuffle machinery reachable from the paper pipeline",
+    check_shuffle_free,
+)
+project_rule(
+    "ACC001",
+    "accumulator value read inside task code",
+    check_accumulator_reads,
+)
+project_rule(
+    "BRD001",
+    "broadcast value mutated inside task code",
+    check_broadcast_mutations,
+)
+project_rule(
+    "ACT001",
+    "RDD action invoked inside task code",
+    check_rdd_actions,
+)
+project_rule(
+    "PLN001",
+    "plan stage contract incomplete or unknown",
+    lambda project: check_plan_contracts(project, rules=("PLN001",)),
+)
+project_rule(
+    "PLN002",
+    "plan stage contract chain is circular",
+    lambda project: check_plan_contracts(project, rules=("PLN002",)),
+)
 
 
 def run_rules(analysis: ModuleAnalysis) -> list[Finding]:
-    """Run every registered rule over one module analysis."""
+    """Run every registered per-module rule over one module analysis."""
     out: list[Finding] = []
     for _summary, fn in RULES.values():
         out.extend(fn(analysis))
     return out
 
 
+def run_project_rules(project: "Project") -> list[Finding]:
+    """Run every registered whole-program rule once over the project."""
+    out: list[Finding] = []
+    for _summary, fn in PROJECT_RULES.values():
+        out.extend(fn(project))
+    return out
+
+
 def rule_catalogue() -> dict[str, str]:
-    """{rule id: one-line summary} for docs and ``--list-rules``."""
-    return {rid: summary for rid, (summary, _fn) in RULES.items()}
+    """{rule id: one-line summary} for docs and ``--rules``."""
+    out = {rid: summary for rid, (summary, _fn) in RULES.items()}
+    out.update({rid: summary for rid, (summary, _fn) in PROJECT_RULES.items()})
+    return dict(sorted(out.items()))

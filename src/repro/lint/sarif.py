@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 emission for lint reports (``repro lint --format sarif``).
+
+One run, one tool (``repro-lint``), one result per finding.  The
+emitter sticks to the stable core of the spec so CI's ``upload-sarif``
+can annotate PR diffs:
+
+- every fired rule appears in ``tool.driver.rules`` with its catalogue
+  summary, and each result links back via ``ruleId``/``ruleIndex``;
+- locations use repo-relative POSIX URIs and 1-based line/column
+  regions (lint columns are 0-based AST offsets);
+- the linter's own line-free fingerprint rides along as a
+  ``partialFingerprints`` entry, and ``baselineState`` distinguishes
+  findings that are new versus grandfathered by ``lint-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding, LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+FINGERPRINT_KEY = "reproLint/v1"
+TOOL_NAME = "repro-lint"
+
+
+def _result(finding: Finding, rule_index: dict[str, int], is_new: bool) -> dict:
+    uri = finding.path.replace("\\", "/").lstrip("./")
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+                **(
+                    {"logicalLocations": [{"fullyQualifiedName": finding.symbol}]}
+                    if finding.symbol
+                    else {}
+                ),
+            }
+        ],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+        "baselineState": "new" if is_new else "unchanged",
+    }
+
+
+def to_sarif(report: LintReport, catalogue: dict[str, str] | None = None) -> dict:
+    """The report as a SARIF 2.1.0 log (a plain JSON-ready dict)."""
+    if catalogue is None:
+        from .rules import rule_catalogue
+
+        catalogue = rule_catalogue()
+    fired = sorted({f.rule for f in report.findings})
+    rules = [
+        {
+            "id": rid,
+            "name": rid,
+            "shortDescription": {
+                "text": catalogue.get(rid, "repro lint rule"),
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rid in fired
+    ]
+    rule_index = {rid: i for i, rid in enumerate(fired)}
+    new_ids = {id(f) for f in report.new}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": [
+                    _result(f, rule_index, id(f) in new_ids)
+                    for f in report.findings
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """The report serialized as a SARIF 2.1.0 JSON document."""
+    return json.dumps(to_sarif(report), indent=2)

@@ -159,6 +159,35 @@ PLAN_BUILDERS = {
     "mapreduce": mapreduce_plan,
 }
 
+# Static mirror of the plan compositions above, as stage *class* names.
+# Pure literals on purpose: the whole-program linter (repro.lint.plans)
+# reads this straight off the AST — without importing or executing
+# anything — to verify each plan's requires/provides chain and to
+# derive the SHF001 entry points.  tests/pipeline/test_plans.py asserts
+# it stays in sync with the builders.
+STAGE_MANIFEST = {
+    "spark": (
+        "LoadPoints", "BuildIndex", "PartitionPlan", "BroadcastModel",
+        "LocalExpand", "CollectPartials", "MergePartials", "RelabelFilter",
+    ),
+    "spatial": (
+        "LoadPoints", "SpatialReorder", "BuildIndex", "PartitionPlan",
+        "BroadcastModel", "LocalExpand", "CollectPartials", "MergePartials",
+        "RelabelFilter",
+    ),
+    "sequential": ("LoadPoints", "BuildIndex", "SequentialExpand"),
+    "naive": ("LoadPoints", "BuildIndex", "ShuffleExpand", "NaiveRelabel"),
+    "mapreduce": (
+        "LoadPoints", "MRBuildIndex", "PartitionPlan", "MRLocalExpand",
+        "MRCollect", "MRRelabel",
+    ),
+}
+
+# Plans under the paper's zero-shuffle contract (Algorithms 3-4): their
+# stage classes are SHF001 entry points, so a stage added to these
+# compositions is automatically under the shuffle-free proof.
+SHUFFLE_FREE_PLANS = ("spark", "spatial")
+
 
 def build_plan(config: RunConfig) -> Plan:
     """The plan composition for ``config.algorithm``."""

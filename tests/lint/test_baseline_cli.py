@@ -132,8 +132,26 @@ class TestCli:
     def test_rules_catalogue(self, capsys):
         assert main(["lint", "--rules"]) == 0
         out = capsys.readouterr().out
-        for rid in ("CAP001", "PCK001", "DET001", "SHF001"):
+        for rid in ("CAP001", "PCK001", "DET001", "SHF001",
+                    "ACC001", "BRD001", "ACT001", "PLN001", "PLN002"):
             assert rid in out
+
+    def test_stats_flag(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text(VIOLATION)
+        assert main(["lint", str(mod), "--stats"]) == 1
+        captured = capsys.readouterr()
+        assert "DET001" in captured.err
+        assert "call graph:" in captured.err
+        assert "nodes" in captured.err and "SCCs" in captured.err
+
+    def test_stats_in_json_payload(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text(VIOLATION)
+        assert main(["lint", str(mod), "--format", "json", "--stats"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["rules"] == {"DET001": 1}
+        assert payload["stats"]["graph"]["nodes"] >= 2
 
     def test_repo_gate(self, capsys):
         """The committed CI gate: src/ against the committed baseline."""

@@ -1,0 +1,80 @@
+"""Baseline fingerprint stability: a committed baseline must survive
+the two most common repo refactors — code moving to different lines,
+and directories being renamed around an unchanged file."""
+
+import textwrap
+
+from repro.lint import load_baseline, new_findings, run_lint, write_baseline
+
+VIOLATION = textwrap.dedent(
+    """
+    import time
+
+    def job(rdd):
+        return rdd.map(lambda x: (x, time.time())).collect()
+    """
+)
+
+
+def _lint(path):
+    report = run_lint([str(path)])
+    assert report.findings, "fixture must produce a finding"
+    return report.findings
+
+
+class TestLineMoves:
+    def test_padding_above_keeps_fingerprint(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(VIOLATION)
+        before = _lint(mod)
+        mod.write_text("# comment\n" * 40 + VIOLATION)
+        after = _lint(mod)
+        assert before[0].line != after[0].line
+        assert [f.fingerprint for f in before] == [f.fingerprint for f in after]
+
+    def test_moved_finding_stays_baselined(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(VIOLATION)
+        base = str(tmp_path / "base.json")
+        write_baseline(base, _lint(mod))
+        mod.write_text("\n" * 25 + VIOLATION)
+        report = run_lint([str(mod)], baseline_path=base)
+        assert report.clean, report.render_text()
+
+
+class TestDirectoryRenames:
+    def test_rename_keeps_fingerprint(self, tmp_path):
+        old = tmp_path / "dbscan" / "mod.py"
+        old.parent.mkdir()
+        old.write_text(VIOLATION)
+        new = tmp_path / "clustering" / "mod.py"
+        new.parent.mkdir()
+        new.write_text(VIOLATION)
+        assert [f.fingerprint for f in _lint(old)] == \
+            [f.fingerprint for f in _lint(new)]
+
+    def test_renamed_directory_stays_baselined(self, tmp_path):
+        old = tmp_path / "pipelines" / "mod.py"
+        old.parent.mkdir()
+        old.write_text(VIOLATION)
+        base = str(tmp_path / "base.json")
+        write_baseline(base, _lint(old))
+        # "Rename" the directory: same file name + content, new parent.
+        new = tmp_path / "plans" / "mod.py"
+        new.parent.mkdir()
+        new.write_text(VIOLATION)
+        report = run_lint([str(new)], baseline_path=base)
+        assert report.clean, report.render_text()
+
+    def test_basename_change_is_new(self, tmp_path):
+        # The file's own name *does* participate: renaming the file
+        # itself is a new identity, only its directories are free.
+        mod = tmp_path / "mod.py"
+        mod.write_text(VIOLATION)
+        base = str(tmp_path / "base.json")
+        findings = _lint(mod)
+        write_baseline(base, findings)
+        renamed = tmp_path / "other.py"
+        renamed.write_text(VIOLATION)
+        counts = load_baseline(base)
+        assert new_findings(_lint(renamed), counts)

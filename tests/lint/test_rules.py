@@ -184,6 +184,22 @@ class TestDeterminism:
         )
         assert "DET001" in rules_of(findings)
 
+    def test_call_returned_rdd_chain(self, lint_source):
+        # Regression: the receiver is an RDD *returned by a call* — the
+        # chain starts at a user-defined factory, not at sc directly.
+        findings = lint_source(
+            """
+            import time
+
+            def make(sc):
+                return sc.parallelize(range(10))
+
+            def job(sc):
+                return make(sc).map(lambda x: (x, time.time())).collect()
+            """
+        )
+        assert "DET001" in rules_of(findings)
+
     def test_driver_side_clock_is_fine(self, lint_source):
         # Wall clocks outside any task closure are driver-side timing.
         findings = lint_source(
@@ -200,34 +216,40 @@ class TestDeterminism:
 
 
 class TestShuffleFree:
-    def test_wide_api_in_pipeline_module(self, lint_source):
+    # SHF001 is no longer a path allowlist: it fires on anything the
+    # call graph proves reachable from a paper-pipeline entry point
+    # (frontends + shuffle-free plan stages), wherever it lives.
+
+    def test_wide_api_reachable_from_entry(self, lint_source):
         findings = lint_source(
             """
-            def run(rdd):
-                return rdd.reduce_by_key(lambda a, b: a + b).collect()
+            class LocalExpand:
+                def run(self, rdd):
+                    return rdd.reduce_by_key(lambda a, b: a + b)
             """,
-            name="dbscan/spark_job.py",
+            name="anywhere/stagelike.py",
         )
         assert any(f.rule == "SHF001" and "reduce_by_key" in f.message
                    for f in findings)
 
-    def test_shuffle_import_in_pipeline_module(self, lint_source):
+    def test_shuffle_import_in_entry_module(self, lint_source):
         findings = lint_source(
             """
             from repro.engine.shuffle import ShuffleManager
 
-            def run(rdd):
-                return rdd.collect()
+            class SparkDBSCAN:
+                def fit(self, points):
+                    return points
             """,
-            name="dbscan/spatial.py",
+            name="anywhere/frontend.py",
         )
         assert "SHF001" in rules_of(findings)
 
-    def test_wide_api_elsewhere_is_fine(self, lint_source):
-        # Only the paper-pipeline modules carry the shuffle-free claim.
+    def test_wide_api_unreachable_is_fine(self, lint_source):
+        # No entry point reaches this function: outside the contract.
         findings = lint_source(
             """
-            def run(rdd):
+            def wordcount(rdd):
                 return rdd.reduce_by_key(lambda a, b: a + b).collect()
             """,
             name="analysis/wordcount.py",
@@ -258,6 +280,39 @@ class TestPragma:
             """
         )
         assert findings == []
+
+    def test_module_level_statement_span(self, lint_source):
+        # A multi-line module-level statement may carry the pragma on
+        # any of its lines — here the finding is on the import's first
+        # line, the pragma on its closing one.
+        findings = lint_source(
+            """
+            from repro.engine.shuffle import (
+                ShuffleManager,
+            )  # lint: allow[SHF001] referenced by offline tooling only
+
+            class SparkDBSCAN:
+                def fit(self, points):
+                    return points
+            """,
+            name="front.py",
+        )
+        assert "SHF001" not in rules_of(findings)
+
+    def test_pragma_inside_class_body_does_not_leak(self, lint_source):
+        # Compound statements are not pragma spans: an allow buried in
+        # a class must not suppress findings elsewhere in the class.
+        findings = lint_source(
+            """
+            class LocalExpand:
+                def run(self, rdd):
+                    x = 1  # lint: allow[SHF001] unrelated line
+                    y = x + 1
+                    return rdd.group_by_key()
+            """,
+            name="stage.py",
+        )
+        assert "SHF001" in rules_of(findings)
 
     def test_pragma_is_rule_specific(self, lint_source):
         findings = lint_source(

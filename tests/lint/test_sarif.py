@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 emission: structural contract always, full JSON-schema
+validation when ``jsonschema`` is installed (the committed schema file
+is a faithful subset of the OASIS sarif-schema-2.1.0 definitions).
+"""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint import run_lint, to_sarif
+from repro.lint.sarif import FINGERPRINT_KEY, SARIF_SCHEMA, TOOL_NAME
+
+VIOLATIONS = textwrap.dedent(
+    """
+    import time
+
+    def job(rdd):
+        return rdd.map(lambda x: (x, time.time())).collect()
+
+    class LocalExpand:
+        def run(self, rdd):
+            return rdd.group_by_key()
+    """
+)
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "sarif-schema-subset.json")
+
+
+@pytest.fixture()
+def sarif_log(tmp_path):
+    mod = tmp_path / "bad.py"
+    mod.write_text(VIOLATIONS)
+    report = run_lint([str(mod)])
+    assert report.findings, "fixture must produce findings"
+    return to_sarif(report), report
+
+
+class TestStructure:
+    def test_envelope(self, sarif_log):
+        log, _report = sarif_log
+        assert log["version"] == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == TOOL_NAME
+
+    def test_results_mirror_findings(self, sarif_log):
+        log, report = sarif_log
+        results = log["runs"][0]["results"]
+        assert len(results) == len(report.findings)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        rule_ids = [r["id"] for r in rules]
+        assert sorted(rule_ids) == sorted({f.rule for f in report.findings})
+        for result, finding in zip(results, report.findings):
+            assert result["ruleId"] == finding.rule
+            assert rule_ids[result["ruleIndex"]] == finding.rule
+            assert result["message"]["text"] == finding.message
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] == finding.line >= 1
+            assert region["startColumn"] == finding.col + 1 >= 1
+            assert result["partialFingerprints"][FINGERPRINT_KEY] == \
+                finding.fingerprint
+
+    def test_baseline_state(self, tmp_path):
+        mod = tmp_path / "bad.py"
+        mod.write_text(VIOLATIONS)
+        from repro.lint import write_baseline
+
+        base = str(tmp_path / "base.json")
+        first = run_lint([str(mod)])
+        write_baseline(base, first.findings[:1])
+        report = run_lint([str(mod)], baseline_path=base)
+        log = to_sarif(report)
+        states = [r["baselineState"] for r in log["runs"][0]["results"]]
+        assert "unchanged" in states and "new" in states
+
+    def test_cli_emits_parseable_sarif(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text(VIOLATIONS)
+        assert main(["lint", str(mod), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+    def test_clean_run_has_empty_results(self, tmp_path):
+        mod = tmp_path / "ok.py"
+        mod.write_text("def f(x):\n    return x\n")
+        log = to_sarif(run_lint([str(mod)]))
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestSchemaValidation:
+    def test_validates_against_sarif_2_1_0(self, sarif_log):
+        jsonschema = pytest.importorskip("jsonschema")
+        with open(SCHEMA_PATH, encoding="utf-8") as f:
+            schema = json.load(f)
+        log, _report = sarif_log
+        jsonschema.validate(instance=log, schema=schema)
+
+    def test_self_scan_sarif_validates(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        with open(SCHEMA_PATH, encoding="utf-8") as f:
+            schema = json.load(f)
+        log = to_sarif(run_lint(["src"]))
+        jsonschema.validate(instance=log, schema=schema)

@@ -1,0 +1,28 @@
+"""STAGE_MANIFEST parity: the static literal the linter reads must
+mirror the plan builders it describes, composition for composition."""
+
+from repro.pipeline.config import RunConfig
+from repro.pipeline.plans import (
+    PLAN_BUILDERS,
+    SHUFFLE_FREE_PLANS,
+    STAGE_MANIFEST,
+)
+
+
+def test_manifest_covers_every_plan():
+    assert set(STAGE_MANIFEST) == set(PLAN_BUILDERS)
+    assert set(SHUFFLE_FREE_PLANS) <= set(PLAN_BUILDERS)
+
+
+def test_manifest_matches_builders():
+    for name, builder in PLAN_BUILDERS.items():
+        config = RunConfig(eps=25.0, minpts=5, algorithm=name)
+        plan = builder(config)
+        built = tuple(type(stage).__name__ for stage in plan.stages)
+        assert built == STAGE_MANIFEST[name], (
+            f"plan {name!r}: STAGE_MANIFEST out of sync with builder"
+        )
+
+
+def test_shuffle_free_plans_are_the_paper_pipelines():
+    assert SHUFFLE_FREE_PLANS == ("spark", "spatial")
