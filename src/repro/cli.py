@@ -156,6 +156,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             min_cluster_size=args.min_cluster_size,
             leaf_size=args.leaf_size,
             neighbor_mode=args.neighbor_mode,
+            partitioning=args.partitioning,
             impl=args.impl,
             max_rounds=args.max_rounds,
             sanitize=args.sanitize,
@@ -298,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--min-cluster-size", type=int, default=0)
     r.add_argument("--leaf-size", type=int, default=64)
     r.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES, default="per_point")
+    r.add_argument("--partitioning", choices=("range", "cells"), default="range",
+                   help="spark-only: 'cells' swaps in the cell plan "
+                        "(partition-local indexes, eps-halo, no broadcast)")
     r.add_argument("--impl", choices=("array", "hashtable"), default="array",
                    help="sequential-only point-state implementation")
     r.add_argument("--max-rounds", type=int, default=100,

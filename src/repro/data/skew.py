@@ -42,14 +42,28 @@ def generate_skewed(
     rng = np.random.default_rng(seed)
     n_noise = int(round(n * noise_fraction))
     n_clustered = n - n_noise
+    if n_clustered < num_clusters:
+        raise ValueError("n too small for the requested cluster count")
 
     weights = 1.0 / np.arange(1, num_clusters + 1) ** zipf_exponent
     weights /= weights.sum()
     sizes = np.maximum(1, np.round(weights * n_clustered).astype(int))
-    # Fix rounding drift on the largest cluster.
-    sizes[0] += n_clustered - sizes.sum()
-    if sizes[0] < 1:
-        raise ValueError("n too small for the requested cluster count")
+    drift = n_clustered - sizes.sum()
+    if drift > 0:
+        # Fix positive rounding drift on the largest cluster.
+        sizes[0] += drift
+    elif drift < 0:
+        # The per-cluster floor of 1 can push the sum past n_clustered
+        # (many tail clusters each rounded up to 1).  Rebalance across
+        # the tail: shave the excess off the smallest clusters first,
+        # never below 1 each — feasible whenever n_clustered >=
+        # num_clusters, which was checked above.
+        for k in range(num_clusters - 1, -1, -1):
+            take = min(int(sizes[k]) - 1, -drift)
+            sizes[k] -= take
+            drift += take
+            if drift == 0:
+                break
 
     min_sep = max(12.0 * cluster_std, 200.0)
     centers = _place_centers(rng, num_clusters, d, min_sep)

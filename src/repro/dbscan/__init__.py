@@ -10,6 +10,13 @@ from .merge import (
     merge_partials,
     merge_union_find,
 )
+from .cells import (
+    CellAssignment,
+    CellGrid,
+    CellPayload,
+    build_cell_assignment,
+    cell_local_dbscan,
+)
 from .params import k_distances, suggest_eps
 from .predict import DBSCANPredictor
 from .partial import NEIGHBOR_MODES, SEED_POLICIES, PartialCluster, local_dbscan
@@ -29,6 +36,11 @@ from .validation import (
 __all__ = [
     "NOISE",
     "UNCLASSIFIED",
+    "CellAssignment",
+    "CellGrid",
+    "CellPayload",
+    "build_cell_assignment",
+    "cell_local_dbscan",
     "MapReduceDBSCAN",
     "MRDBSCANResult",
     "NaiveSparkDBSCAN",

@@ -43,6 +43,7 @@ class GridIndex:
         self.eps = eps
         self._cells: dict[tuple[int, ...], list[int]] = defaultdict(list)
         self._points: list[np.ndarray] = []
+        self._active = 0
 
     def _cell_of(self, x: np.ndarray) -> tuple[int, ...]:
         return tuple(int(np.floor(v / self.eps)) for v in x)
@@ -52,6 +53,7 @@ class GridIndex:
         idx = len(self._points)
         self._points.append(np.asarray(x, dtype=np.float64))
         self._cells[self._cell_of(x)].append(idx)
+        self._active += 1
         return idx
 
     def remove(self, idx: int) -> None:
@@ -59,9 +61,15 @@ class GridIndex:
         x = self._points[idx]
         if x is None:
             raise KeyError(f"point {idx} already removed")
-        cell = self._cells[self._cell_of(x)]
+        key = self._cell_of(x)
+        cell = self._cells[key]
         cell.remove(idx)
+        if not cell:
+            # Drop emptied cells so the occupied-cell count (which the
+            # neighbour-scan strategy choice reads) stays truthful.
+            del self._cells[key]
         self._points[idx] = None  # tombstone keeps indices stable
+        self._active -= 1
 
     def point(self, idx: int) -> np.ndarray:
         """Stored coordinates of a point."""
@@ -70,22 +78,53 @@ class GridIndex:
             raise KeyError(f"point {idx} was removed")
         return x
 
+    @property
+    def active(self) -> int:
+        """Number of stored points that have not been removed."""
+        return self._active
+
+    @property
+    def num_cells(self) -> int:
+        """Number of occupied grid cells."""
+        return len(self._cells)
+
+    def _candidates_offsets(self, base: tuple[int, ...]):
+        """Candidate indices by enumerating all 3^d neighbouring offsets."""
+        for offset in np.ndindex(*(3,) * self.d):
+            cell = tuple(b + o - 1 for b, o in zip(base, offset))
+            yield from self._cells.get(cell, ())
+
+    def _candidates_scan(self, base: tuple[int, ...]):
+        """Candidate indices by scanning the occupied cells instead.
+
+        Equivalent to `_candidates_offsets` up to ordering: a cell is
+        Chebyshev-adjacent to ``base`` iff every coordinate differs by at
+        most 1.  Preferable whenever the dict holds fewer cells than the
+        3^d offset box (59 049 tuples per query at the skew generator's
+        default d=10).
+        """
+        for cell, idxs in self._cells.items():
+            if all(abs(c - b) <= 1 for c, b in zip(cell, base)):
+                yield from idxs
+
     def neighbors(self, x: np.ndarray) -> list[int]:
         """Indices of stored points within eps of x (inclusive)."""
         x = np.asarray(x, dtype=np.float64)
         base = self._cell_of(x)
         eps2 = self.eps * self.eps
+        if 3 ** self.d <= len(self._cells):
+            candidates = self._candidates_offsets(base)
+        else:
+            candidates = self._candidates_scan(base)
         out: list[int] = []
-        for offset in np.ndindex(*(3,) * self.d):
-            cell = tuple(b + o - 1 for b, o in zip(base, offset))
-            for idx in self._cells.get(cell, ()):  # noqa: B905
-                diff = self._points[idx] - x
-                if float(diff @ diff) <= eps2:
-                    out.append(idx)
-        return out
+        for idx in candidates:
+            diff = self._points[idx] - x
+            if float(diff @ diff) <= eps2:
+                out.append(idx)
+        return sorted(out)
 
     def __len__(self) -> int:
-        return len(self._points)
+        return self._active
 
 
 class IncrementalDBSCAN:

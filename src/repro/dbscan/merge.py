@@ -226,14 +226,24 @@ def merge_partials(
 
     ``min_cluster_size`` filters tiny *partial* clusters before merging —
     the paper's r1m trick ("we filter out those partial clusters whose
-    size is too small", Section V-E).
+    size is too small", Section V-E).  ``MergeOutcome.groups`` always
+    indexes the ``partials`` list *as passed in*, filtered or not.
     """
     if strategy not in MERGE_STRATEGIES:
         raise ValueError(
             f"strategy must be one of {MERGE_STRATEGIES}, got {strategy!r}"
         )
+    original: list[int] | None = None
     if min_cluster_size > 0:
-        partials = [c for c in partials if c.size >= min_cluster_size]
+        original = [ci for ci, c in enumerate(partials)
+                    if c.size >= min_cluster_size]
+        partials = [partials[ci] for ci in original]
     if strategy == "union_find":
-        return merge_union_find(partials, n)
-    return merge_paper(partials, n)
+        outcome = merge_union_find(partials, n)
+    else:
+        outcome = merge_paper(partials, n)
+    if original is not None:
+        # The strategies numbered the filtered list; translate each group
+        # back to indices into the caller's original list.
+        outcome.groups = [[original[ci] for ci in g] for g in outcome.groups]
+    return outcome

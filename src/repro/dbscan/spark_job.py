@@ -79,6 +79,12 @@ class SparkDBSCAN:
         kd-tree leaf size.
     keep_partials:
         Retain partial clusters on the result for inspection.
+    partitioning:
+        ``"range"`` (default): the paper's contiguous index slicing with
+        a whole-tree broadcast.  ``"cells"``: eps-grid cell partitions
+        with partition-local kd-trees and an eps-halo — the driver never
+        builds a global index and never broadcasts anything
+        dataset-sized (DESIGN.md §10).  Labels are byte-identical.
     tracer:
         `repro.obs.Tracer` receiving the run's phase spans (DESIGN.md
         §7).  Defaults to the no-op `NULL_TRACER`; labels are identical
@@ -113,6 +119,7 @@ class SparkDBSCAN:
         leaf_size: int = 64,
         keep_partials: bool = False,
         neighbor_mode: str = "per_point",
+        partitioning: str = "range",
         tracer: Tracer | None = None,
         metrics_registry=None,
         sanitize: bool = False,
@@ -133,6 +140,7 @@ class SparkDBSCAN:
             leaf_size=leaf_size,
             keep_partials=keep_partials,
             neighbor_mode=neighbor_mode,
+            partitioning=partitioning,
             sanitize=sanitize,
         )
         self.tracer = tracer or NULL_TRACER

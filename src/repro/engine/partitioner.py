@@ -59,6 +59,44 @@ class RangePartitioner(Partitioner):
         return bisect.bisect_left(self.bounds, key)
 
 
+class LookupPartitioner(Partitioner):
+    """Explicit key → partition table over integer keys ``0..n-1``.
+
+    The cell-partitioned DBSCAN plan owns *scattered* point ids per
+    partition (whole grid cells, balanced by load), so contiguous range
+    arithmetic cannot answer "whose point is this?"; a precomputed
+    table can.  ``table`` may be any integer sequence (typically a numpy
+    array) and is held, not copied.
+    """
+
+    def __init__(self, table: Sequence[int], num_partitions: int):
+        super().__init__(num_partitions)
+        self.table = table
+        self.n = len(table)
+
+    def partition(self, key: int) -> int:
+        """Output partition for the given key."""
+        if not 0 <= key < self.n:
+            raise IndexError(f"index {key} outside [0, {self.n})")
+        return int(self.table[key])
+
+    def owns(self, partition: int, key: int) -> bool:
+        """True iff ``key`` is assigned to ``partition``."""
+        return self.partition(key) == partition
+
+    def __eq__(self, other: object) -> bool:
+        # The base dict comparison trips over numpy tables (elementwise
+        # == yields an array); compare the materialised mapping instead.
+        return (
+            type(self) is type(other)
+            and self.num_partitions == other.num_partitions
+            and list(self.table) == list(other.table)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity-ish hash
+        return hash((type(self).__name__, self.num_partitions, self.n))
+
+
 class IndexRangePartitioner(Partitioner):
     """Contiguous index ranges over ``0..n-1``, the paper's partitioning.
 

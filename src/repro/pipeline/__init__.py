@@ -12,7 +12,7 @@ in this package, executed by one `PipelineRunner`:
 See DESIGN.md §9 for the architecture and checkpoint format.
 """
 
-from .config import ALGORITHMS, HASHED_FIELDS, RunConfig
+from .config import ALGORITHMS, HASHED_FIELDS, PARTITIONINGS, RunConfig
 from .checkpoint import CheckpointError, CheckpointStore
 from .state import PipelineState
 from .stages import (
@@ -29,14 +29,19 @@ from .stages import (
     SpatialReorder,
     Stage,
 )
+from .stages_cells import CellCollect, CellPartition, LocalIndexExpand
 from .stages_naive import NaiveRelabel, ShuffleExpand
 from .stages_mapreduce import MRBuildIndex, MRCollect, MRLocalExpand, MRRelabel
 from .plans import (
     PLAN_BUILDERS,
+    SHUFFLE_FREE_PLANS,
+    STAGE_MANIFEST,
     Plan,
     build_plan,
+    cell_plan,
     mapreduce_plan,
     naive_plan,
+    plan_name,
     sequential_plan,
     spark_plan,
     spatial_plan,
@@ -46,6 +51,7 @@ from .runner import RESTORED, RUN, SKIPPED, PipelineCrash, PipelineRunner
 __all__ = [
     "ALGORITHMS",
     "HASHED_FIELDS",
+    "PARTITIONINGS",
     "RunConfig",
     "CheckpointError",
     "CheckpointStore",
@@ -62,6 +68,9 @@ __all__ = [
     "MergePartials",
     "RelabelFilter",
     "SequentialExpand",
+    "CellPartition",
+    "LocalIndexExpand",
+    "CellCollect",
     "ShuffleExpand",
     "NaiveRelabel",
     "MRBuildIndex",
@@ -70,9 +79,13 @@ __all__ = [
     "MRRelabel",
     "Plan",
     "PLAN_BUILDERS",
+    "STAGE_MANIFEST",
+    "SHUFFLE_FREE_PLANS",
     "build_plan",
+    "plan_name",
     "spark_plan",
     "spatial_plan",
+    "cell_plan",
     "sequential_plan",
     "naive_plan",
     "mapreduce_plan",

@@ -29,6 +29,12 @@ import numpy as np
 #: The five frontends, as pipeline plan names.
 ALGORITHMS = ("spark", "spatial", "naive", "mapreduce", "sequential")
 
+#: How points are assigned to executors.  ``"range"`` is the paper's
+#: contiguous index slicing (+ a whole-tree broadcast); ``"cells"``
+#: re-bases the spark plan on eps-grid cell partitions with
+#: partition-local indexes and an eps-halo (DESIGN.md §10).
+PARTITIONINGS = ("range", "cells")
+
 #: Fields covered by ``content_hash`` (see module docstring for the rule).
 HASHED_FIELDS = (
     "algorithm",
@@ -44,6 +50,7 @@ HASHED_FIELDS = (
     "impl",
     "max_rounds",
     "startup_overhead",
+    "partitioning",
 )
 
 
@@ -69,6 +76,7 @@ class RunConfig:
     leaf_size: int = 64
     keep_partials: bool = False
     neighbor_mode: str = "per_point"
+    partitioning: str = "range"
     sanitize: bool = False
     # sequential only
     impl: str = "array"
@@ -103,6 +111,13 @@ class RunConfig:
             raise ValueError(f"unknown merge_strategy {self.merge_strategy!r}")
         if self.neighbor_mode not in NEIGHBOR_MODES:
             raise ValueError(f"unknown neighbor_mode {self.neighbor_mode!r}")
+        if self.partitioning not in PARTITIONINGS:
+            raise ValueError(f"unknown partitioning {self.partitioning!r}")
+        if self.partitioning == "cells" and self.algorithm != "spark":
+            raise ValueError(
+                "partitioning='cells' re-bases the spark plan; it cannot "
+                f"combine with algorithm={self.algorithm!r}"
+            )
         if self.max_neighbors is not None and self.max_neighbors < 1:
             raise ValueError(
                 f"max_neighbors must be >= 1 or None, got {self.max_neighbors}"

@@ -8,6 +8,10 @@ small edits of it (Section IV vs. the Section V baselines):
                 LocalExpand → CollectPartials → MergePartials → RelabelFilter
 ``spatial``     the same plan with a SpatialReorder stage after LoadPoints
                 (and a permutation-undoing RelabelFilter tail)
+``cell``        LoadPoints → CellPartition → LocalIndexExpand → CellCollect →
+                MergePartials → RelabelFilter — the spark plan re-based on
+                cell partitions with local indexes and an eps-halo; no
+                BuildIndex, no BroadcastModel (``partitioning="cells"``)
 ``sequential``  the degenerate single-partition plan: LoadPoints →
                 BuildIndex → SequentialExpand
 ``naive``       LoadPoints → BuildIndex → ShuffleExpand → RelabelFilter
@@ -39,6 +43,7 @@ from .stages import (
     SpatialReorder,
     Stage,
 )
+from .stages_cells import CellCollect, CellPartition, LocalIndexExpand
 from .stages_mapreduce import MRBuildIndex, MRCollect, MRLocalExpand, MRRelabel
 from .stages_naive import NaiveRelabel, ShuffleExpand
 
@@ -105,6 +110,29 @@ def spatial_plan(config: RunConfig) -> Plan:
     )
 
 
+def cell_plan(config: RunConfig) -> Plan:
+    """The SEED pipeline over cell partitions with partition-local
+    indexes and an eps-halo (``RunConfig(partitioning="cells")``).
+
+    No `BuildIndex`, no `BroadcastModel`: the driver never constructs a
+    global kd-tree and nothing dataset-sized is ever broadcast — each
+    executor indexes only its (owned + halo) payload.
+    """
+    return Plan(
+        name="cell",
+        algo_label="SparkDBSCAN[cells]",
+        stages=(
+            LoadPoints(),
+            CellPartition(),
+            LocalIndexExpand(),
+            CellCollect(),
+            MergePartials(),
+            RelabelFilter(),
+        ),
+        outputs=("labels", "outcome", "partials"),
+    )
+
+
 def sequential_plan(config: RunConfig) -> Plan:
     """Algorithm 1 as a degenerate single-partition plan."""
     return Plan(
@@ -154,6 +182,7 @@ def mapreduce_plan(config: RunConfig) -> Plan:
 PLAN_BUILDERS = {
     "spark": spark_plan,
     "spatial": spatial_plan,
+    "cell": cell_plan,
     "sequential": sequential_plan,
     "naive": naive_plan,
     "mapreduce": mapreduce_plan,
@@ -175,6 +204,10 @@ STAGE_MANIFEST = {
         "BroadcastModel", "LocalExpand", "CollectPartials", "MergePartials",
         "RelabelFilter",
     ),
+    "cell": (
+        "LoadPoints", "CellPartition", "LocalIndexExpand", "CellCollect",
+        "MergePartials", "RelabelFilter",
+    ),
     "sequential": ("LoadPoints", "BuildIndex", "SequentialExpand"),
     "naive": ("LoadPoints", "BuildIndex", "ShuffleExpand", "NaiveRelabel"),
     "mapreduce": (
@@ -186,13 +219,24 @@ STAGE_MANIFEST = {
 # Plans under the paper's zero-shuffle contract (Algorithms 3-4): their
 # stage classes are SHF001 entry points, so a stage added to these
 # compositions is automatically under the shuffle-free proof.
-SHUFFLE_FREE_PLANS = ("spark", "spatial")
+SHUFFLE_FREE_PLANS = ("spark", "spatial", "cell")
+
+
+def plan_name(config: RunConfig) -> str:
+    """The plan a config resolves to.
+
+    ``partitioning="cells"`` swaps the spark composition for the cell
+    plan; every other config maps straight to its algorithm name.
+    """
+    if config.partitioning == "cells":
+        return "cell"
+    return config.algorithm
 
 
 def build_plan(config: RunConfig) -> Plan:
-    """The plan composition for ``config.algorithm``."""
+    """The plan composition for ``config.algorithm``/``partitioning``."""
     try:
-        builder = PLAN_BUILDERS[config.algorithm]
+        builder = PLAN_BUILDERS[plan_name(config)]
     except KeyError:
         raise ValueError(f"unknown algorithm {config.algorithm!r}") from None
     return builder(config)

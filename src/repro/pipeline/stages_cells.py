@@ -1,0 +1,218 @@
+"""Stages for the cell-partitioned plan — no whole-tree broadcast.
+
+The ``spark``/``spatial`` plans broadcast one kd-tree over the entire
+dataset to every executor (`BroadcastModel`), which caps the scalable
+dataset size at driver memory.  The ``cell`` plan replaces that model
+with the MR-DBSCAN / dDBGSCAN shape (`repro.dbscan.cells`):
+
+- `CellPartition` bins points into eps-aligned grid cells, packs whole
+  cells into balanced partitions (greedy LPT over per-cell counts), and
+  computes each partition's **eps-halo**: the foreign points within eps
+  of one of its cells' bounding boxes.
+- `LocalIndexExpand` ships each partition its `CellPayload` (owned +
+  halo points) *through the RDD*, builds a kd-tree over only that
+  payload on the executor, and runs `cell_local_dbscan` — the SEED
+  expansion with halo points standing in for the foreign-index checks
+  of the range plan.  No ``sc.broadcast`` call exists anywhere in this
+  module; ``tests/pipeline/test_cell_plan.py`` pins that with the
+  broadcast-nbytes telemetry.
+- `CellCollect` drains the accumulator exactly like `CollectPartials`,
+  then sorts the partials by founder (``members[0]``): cell ownership
+  is not contiguous, so the accumulator's partition order differs from
+  the range plan's, but every partial's founder is the smallest core
+  point it covers — sorting restores the global numbering order and the
+  downstream union-find merge yields labels byte-identical to
+  `SparkDBSCAN` (DESIGN.md §10).
+
+The unchanged `MergePartials` + `RelabelFilter` tail completes the
+plan; halo SEEDs feed the same core-seed-containment union-find.
+
+This module is executor-path code under the SHF001 shuffle-free
+contract: registering ``"cell"`` in ``SHUFFLE_FREE_PLANS`` makes these
+stage classes lineage-proof entry points automatically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..engine import LIST_CONCAT
+from ..dbscan.cells import CellAssignment, build_cell_assignment, cell_local_dbscan
+from ..dbscan.partial import OpCounters
+from .checkpoint import CheckpointStore
+from .stages import CollectPartials, Stage
+from .state import PipelineState
+
+
+class CellPartition(Stage):
+    """Grid-partition the points and plan each partition's eps-halo.
+
+    Driver-side and index-free: the plan is pure integer bookkeeping
+    (who owns which point, who additionally sees which), so it
+    checkpoints as a handful of id arrays — no kd-tree artifact.
+    """
+
+    name = "CellPartition"
+    requires = ("points", "n")
+    provides = ("cell_assignment", "partitioner")
+    checkpointable = True
+
+    def run(self, state: PipelineState) -> None:
+        cfg = state.config
+        with state.tracer.span("driver.cell_partition", cat="driver") as sp:
+            t0 = time.perf_counter()
+            assignment = build_cell_assignment(
+                state.points, cfg.eps, cfg.num_partitions
+            )
+            state.timings.setup += time.perf_counter() - t0
+            sp.annotate(
+                num_cells=assignment.num_cells,
+                halo_points=assignment.halo_points_total,
+            )
+        self._install(state, assignment)
+
+    @staticmethod
+    def _install(state: PipelineState, assignment) -> None:
+        state.extras["cell_assignment"] = assignment
+        state.partitioner = assignment.to_partitioner()
+
+    def save(self, state: PipelineState, store: CheckpointStore) -> None:
+        a = state.extras["cell_assignment"]
+        arrays = {}
+        for key, parts in (("owned", a.owned), ("halo", a.halo),
+                           ("halo_home", a.halo_home)):
+            arrays[key] = (
+                np.concatenate(parts) if parts
+                else np.empty(0, dtype=np.int64)
+            )
+            arrays[f"{key}_sizes"] = np.array(
+                [len(x) for x in parts], dtype=np.int64
+            )
+        store.save_npz(self.name, **arrays)
+        store.save_json(self.name, {
+            "n": a.n,
+            "num_partitions": a.num_partitions,
+            "num_cells": a.num_cells,
+        })
+
+    def load(self, state: PipelineState, store: CheckpointStore) -> None:
+        doc = store.load_json(self.name)
+        arrays = store.load_npz(self.name)
+
+        def split(key):
+            flat = arrays[key].astype(np.int64)
+            bounds = np.cumsum(arrays[f"{key}_sizes"].astype(np.int64))[:-1]
+            return [np.ascontiguousarray(x) for x in np.split(flat, bounds)]
+
+        assignment = CellAssignment(
+            n=doc["n"],
+            num_partitions=doc["num_partitions"],
+            num_cells=doc["num_cells"],
+            owned=split("owned"),
+            halo=split("halo"),
+            halo_home=split("halo_home"),
+        )
+        self._install(state, assignment)
+
+
+class LocalIndexExpand(Stage):
+    """Per-partition kd-trees over (owned + halo) points — executors
+    build their own index from the RDD payload; the driver never holds
+    (let alone broadcasts) a global one.
+    """
+
+    name = "LocalIndexExpand"
+    requires = ("cell_assignment", "points")
+    provides = ("engine", "expanded")
+
+    def run(self, state: PipelineState) -> None:
+        cfg = state.config
+        assignment = state.extras["cell_assignment"]
+        sc = state.ensure_context()
+        with state.tracer.span("driver.setup", cat="driver") as sp:
+            t0 = time.perf_counter()
+            payloads = assignment.payloads(state.points)
+            halo_bytes = sum(p.halo_ids.nbytes + p.halo_points.nbytes
+                             for p in payloads)
+            payload_bytes = sum(p.nbytes for p in payloads)
+            state.indices = sc.parallelize(payloads, cfg.num_partitions)
+            state.acc = sc.accumulator(LIST_CONCAT)
+            state.counters_acc = (
+                sc.accumulator(LIST_CONCAT)
+                if state.metrics_registry is not None
+                else None
+            )
+            state.timings.setup += time.perf_counter() - t0
+            sp.annotate(halo_points=assignment.halo_points_total,
+                        halo_nbytes=halo_bytes, payload_nbytes=payload_bytes)
+        state.extras["halo_points"] = assignment.halo_points_total
+        state.extras["halo_bytes"] = halo_bytes
+        state.extras["payload_bytes"] = payload_bytes
+        if state.metrics_registry is not None:
+            state.metrics_registry.gauge(
+                "repro_cell_halo_points",
+                "Replicated eps-halo point slots across all partitions.",
+            ).set(assignment.halo_points_total)
+            state.metrics_registry.gauge(
+                "repro_cell_halo_bytes",
+                "Serialized bytes of replicated halo ids + coordinates.",
+            ).set(halo_bytes)
+            state.metrics_registry.gauge(
+                "repro_cell_payload_bytes",
+                "Serialized bytes of all cell payloads (owned + halo).",
+            ).set(payload_bytes)
+
+        eps, minpts = cfg.eps, cfg.minpts
+        leaf_size, seed_policy = cfg.leaf_size, cfg.seed_policy
+        max_neighbors, neighbor_mode = cfg.max_neighbors, cfg.neighbor_mode
+        acc, counters_acc = state.acc, state.counters_acc
+        collect_counters = counters_acc is not None
+
+        def run_partition(pid: int, it) -> None:
+            counters = OpCounters() if collect_counters else None
+            result = []
+            for payload in it:
+                result.extend(cell_local_dbscan(
+                    payload, eps, minpts, leaf_size=leaf_size,
+                    seed_policy=seed_policy, max_neighbors=max_neighbors,
+                    neighbor_mode=neighbor_mode, counters=counters,
+                ))
+            # Partial clusters ship to the driver through the accumulator
+            # as the task finishes, exactly like the range plan.
+            acc.add(result)
+            if counters_acc is not None:
+                counters_acc.add([(pid, counters)])
+
+        state.indices.foreach_partition_with_index(run_partition)
+
+        durations = state.sc.last_job_metrics.task_durations()
+        state.timings.executor_task_durations = durations
+        state.timings.executor_total = sum(durations)
+        state.timings.executor_max = max(durations) if durations else 0.0
+
+
+class CellCollect(CollectPartials):
+    """`CollectPartials` plus founder-sorting (see the module docstring).
+
+    Cell ownership is not contiguous, so partials arrive grouped by
+    partition in an order unrelated to their point ids; sorting by
+    founder makes the list — and therefore global cluster numbering and
+    every downstream artifact — deterministic and identical to the
+    range plan's.
+    """
+
+    name = "CollectPartials"
+    requires = ("expanded", "engine")
+    provides = ("partials",)
+    checkpointable = True
+
+    def run(self, state: PipelineState) -> None:
+        super().run(state)
+        # Founders are unique (each is an owned core point of exactly
+        # one partial), so the sort is a total order.
+        state.partials.sort(key=lambda c: c.members[0])
+
+
+__all__ = ["CellCollect", "CellPartition", "LocalIndexExpand"]

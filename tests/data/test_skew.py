@@ -33,6 +33,22 @@ class TestGenerator:
             generate_skewed(n=100, zipf_exponent=0.0)
         with pytest.raises(ValueError):
             generate_skewed(n=100, noise_fraction=1.0)
+        # Genuinely infeasible: fewer clustered points than clusters.
+        with pytest.raises(ValueError):
+            generate_skewed(n=30, num_clusters=50, noise_fraction=0.0)
+
+    def test_tight_budget_rebalances_instead_of_raising(self):
+        """Regression: when the per-cluster floor of 1 pushed the rounded
+        sizes past the budget, the generator raised even though the
+        request was feasible.  It must rebalance across the tail."""
+        g = generate_skewed(n=60, num_clusters=50, noise_fraction=0.0,
+                            seed=0)
+        sizes = np.array([c.size for c in g.clusters])
+        assert g.n == 60
+        assert sizes.sum() == 60
+        assert (sizes >= 1).all()
+        # Still a power law: sizes non-increasing after rebalancing.
+        assert (np.diff(sizes) <= 0).all()
 
 
 class TestSkewAndPartitioning:

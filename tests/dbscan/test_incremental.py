@@ -32,6 +32,80 @@ class TestGridIndex:
         with pytest.raises(ValueError):
             GridIndex(2, eps=0.0)
 
+    def test_len_ignores_tombstones(self):
+        """Regression: ``len`` used to count removed (tombstoned) points
+        because it read ``len(self._points)``."""
+        grid = GridIndex(2, eps=1.0)
+        a = grid.add(np.array([0.1, 0.1]))
+        grid.add(np.array([0.2, 0.2]))
+        grid.add(np.array([5.0, 5.0]))
+        assert len(grid) == 3
+        grid.remove(a)
+        assert len(grid) == 2
+        assert grid.active == 2
+        # Indices stay stable: the surviving points keep their ids.
+        assert sorted(grid.neighbors(np.array([0.15, 0.15]))) == [1]
+
+    def test_remove_drops_emptied_cells(self):
+        grid = GridIndex(2, eps=1.0)
+        idx = grid.add(np.array([5.0, 5.0]))
+        grid.add(np.array([0.0, 0.0]))
+        assert grid.num_cells == 2
+        grid.remove(idx)
+        assert grid.num_cells == 1
+        with pytest.raises(KeyError):
+            grid.remove(idx)
+
+    def test_high_d_neighbors_uses_cell_scan(self):
+        """Regression: at d=10 `neighbors` used to enumerate all 3^10 =
+        59 049 offset tuples per query; it now scans the (far smaller)
+        occupied-cell dict.  Either way the answer must match brute
+        force."""
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 50, (40, 10))
+        grid = GridIndex(10, eps=4.0)
+        for p in pts:
+            grid.add(p)
+        assert 3 ** grid.d > grid.num_cells  # the scan path is active
+        for qi in (0, 13, 39):
+            d = np.linalg.norm(pts - pts[qi], axis=1)
+            want = sorted(np.flatnonzero(d <= 4.0).tolist())
+            assert grid.neighbors(pts[qi]) == want
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        d=st.integers(1, 3),
+        n=st.integers(1, 40),
+        eps=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    def test_candidate_strategies_agree(self, seed, d, n, eps):
+        """Both candidate enumerations (3^d offsets vs occupied-cell
+        scan) must yield the same neighbour sets — including points at
+        exactly distance eps, which are inclusive."""
+        rng = np.random.default_rng(seed)
+        # Half-eps lattice coordinates make exact-eps pairs common and
+        # land points exactly on cell boundaries.
+        pts = rng.integers(-6, 7, (n, d)) * (eps / 2.0)
+        grid = GridIndex(d, eps=eps)
+        for p in pts:
+            grid.add(p)
+        for q in pts[:: max(1, n // 5)]:
+            base = grid._cell_of(q)
+            eps2 = eps * eps
+
+            def filt(candidates):
+                return sorted(
+                    i for i in set(candidates)
+                    if float((pts[i] - q) @ (pts[i] - q)) <= eps2
+                )
+
+            via_offsets = filt(grid._candidates_offsets(base))
+            via_scan = filt(grid._candidates_scan(base))
+            dist = np.linalg.norm(pts - q, axis=1)
+            brute = sorted(np.flatnonzero(dist <= eps).tolist())
+            assert via_offsets == via_scan == brute == grid.neighbors(q)
+
 
 def _batch_equiv(points: np.ndarray, eps: float, minpts: int) -> tuple[bool, str]:
     inc = IncrementalDBSCAN(eps, minpts, d=points.shape[1])

@@ -190,6 +190,20 @@ class TestMergePartialsAPI:
         assert out.labels[3] == NOISE  # filtered away (paper's r1m trick)
         assert out.labels[10] >= 0
 
+    def test_min_cluster_size_groups_index_original_list(self):
+        """Regression: with ``min_cluster_size`` filtering, ``groups``
+        used to index the *filtered* partials list, so every group id
+        after a dropped partial pointed at the wrong cluster."""
+        tiny = pc(0, 0, 0, 10, [3])  # filtered out (size 1 < 2)
+        a = pc(1, 0, 10, 20, [10, 11], seeds=[20])
+        b = pc(2, 0, 20, 30, [20, 21])
+        out = merge_partials([tiny, a, b], 30, min_cluster_size=2)
+        # a and b merge; their group must name indices 1 and 2 of the
+        # caller's list, not 0 and 1 of the filtered one.
+        assert out.groups == [[1, 2]]
+        assert out.labels[10] == out.labels[20]
+        assert out.labels[3] == NOISE
+
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError):
             merge_partials([], 0, strategy="magic")

@@ -161,10 +161,12 @@ class TestRepoManifest:
     def test_shipped_plans_are_contract_clean(self):
         project = build_project(
             ["src/repro/pipeline/plans.py", "src/repro/pipeline/stages.py",
+             "src/repro/pipeline/stages_cells.py",
              "src/repro/pipeline/stages_naive.py",
              "src/repro/pipeline/stages_mapreduce.py"]
         )
         assert check_plan_contracts(project) == []
         assert shuffle_free_stage_classes(project) >= {
             "LoadPoints", "LocalExpand", "CollectPartials", "MergePartials",
+            "CellPartition", "LocalIndexExpand", "CellCollect",
         }

@@ -49,6 +49,14 @@ class TestValidation:
     def test_explicit_master_wins(self):
         assert cfg(master="processes[2]").resolved_master == "processes[2]"
 
+    def test_partitioning_validated(self):
+        assert cfg(partitioning="cells").partitioning == "cells"
+        with pytest.raises(ValueError):
+            cfg(partitioning="hex")
+        # Cell partitioning re-bases the spark plan only.
+        with pytest.raises(ValueError):
+            cfg(algorithm="naive", partitioning="cells")
+
 
 class TestContentHash:
     def test_deterministic(self):
@@ -67,6 +75,7 @@ class TestContentHash:
         dict(neighbor_mode="batched"),
         dict(impl="hashtable"),
         dict(max_neighbors=40),
+        dict(partitioning="cells"),
     ])
     def test_semantic_field_changes_hash(self, change):
         pts = np.arange(20, dtype=np.float64).reshape(10, 2)

@@ -6,7 +6,21 @@ from repro.pipeline.plans import (
     PLAN_BUILDERS,
     SHUFFLE_FREE_PLANS,
     STAGE_MANIFEST,
+    build_plan,
+    plan_name,
 )
+
+
+def config_for(name: str) -> RunConfig:
+    """A RunConfig that resolves to the named plan.
+
+    The ``cell`` plan is not an algorithm: it is the spark plan re-based
+    via ``partitioning="cells"``.
+    """
+    if name == "cell":
+        return RunConfig(eps=25.0, minpts=5, algorithm="spark",
+                         partitioning="cells")
+    return RunConfig(eps=25.0, minpts=5, algorithm=name)
 
 
 def test_manifest_covers_every_plan():
@@ -16,7 +30,7 @@ def test_manifest_covers_every_plan():
 
 def test_manifest_matches_builders():
     for name, builder in PLAN_BUILDERS.items():
-        config = RunConfig(eps=25.0, minpts=5, algorithm=name)
+        config = config_for(name)
         plan = builder(config)
         built = tuple(type(stage).__name__ for stage in plan.stages)
         assert built == STAGE_MANIFEST[name], (
@@ -25,4 +39,10 @@ def test_manifest_matches_builders():
 
 
 def test_shuffle_free_plans_are_the_paper_pipelines():
-    assert SHUFFLE_FREE_PLANS == ("spark", "spatial")
+    assert SHUFFLE_FREE_PLANS == ("spark", "spatial", "cell")
+
+
+def test_plan_name_resolution():
+    assert plan_name(config_for("spark")) == "spark"
+    assert plan_name(config_for("cell")) == "cell"
+    assert build_plan(config_for("cell")).name == "cell"
