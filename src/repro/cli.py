@@ -67,6 +67,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         print(f"error: --sanitize requires a Spark-engine algorithm "
               f"(spark, spatial, naive), not {args.algorithm!r}", file=sys.stderr)
         return 1
+    if (args.profile or args.profile_alloc) \
+            and args.algorithm in ("sequential", "mapreduce", "naive"):
+        print(f"error: --profile requires a pipeline algorithm with task "
+              f"profiling (spark, spatial), not {args.algorithm!r}",
+              file=sys.stderr)
+        return 1
+    profile = args.profile or args.profile_alloc
 
     if args.algorithm == "sequential":
         from repro.dbscan import dbscan_sequential
@@ -79,24 +86,31 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
         result = SparkDBSCAN(args.eps, args.minpts,
                              num_partitions=args.partitions,
+                             master=args.master,
                              neighbor_mode=args.neighbor_mode,
                              tracer=tracer,
                              metrics_registry=registry,
-                             sanitize=args.sanitize).fit(points)
+                             sanitize=args.sanitize,
+                             profile=profile,
+                             profile_alloc=args.profile_alloc).fit(points)
     elif args.algorithm == "spatial":
         from repro.dbscan import SpatialSparkDBSCAN
 
         result = SpatialSparkDBSCAN(args.eps, args.minpts,
                                     num_partitions=args.partitions,
+                                    master=args.master,
                                     neighbor_mode=args.neighbor_mode,
                                     tracer=tracer,
                                     metrics_registry=registry,
-                                    sanitize=args.sanitize).fit(points)
+                                    sanitize=args.sanitize,
+                                    profile=profile,
+                                    profile_alloc=args.profile_alloc).fit(points)
     elif args.algorithm == "naive":
         from repro.dbscan import NaiveSparkDBSCAN
 
         result = NaiveSparkDBSCAN(args.eps, args.minpts,
                                   num_partitions=args.partitions,
+                                  master=args.master,
                                   tracer=tracer,
                                   sanitize=args.sanitize).fit(points)
     else:  # mapreduce
@@ -150,6 +164,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             minpts=args.minpts,
             algorithm=args.algorithm,
             num_partitions=args.partitions,
+            master=args.master,
             seed_policy=args.seed_policy,
             merge_strategy=args.merge_strategy,
             max_neighbors=args.max_neighbors,
@@ -160,6 +175,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             impl=args.impl,
             max_rounds=args.max_rounds,
             sanitize=args.sanitize,
+            profile=args.profile or args.profile_alloc,
+            profile_alloc=args.profile_alloc,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -263,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--minpts", type=int, default=5)
     c.add_argument("--partitions", type=int, default=4)
     c.add_argument("--algorithm", choices=ALGORITHMS, default="spark")
+    c.add_argument("--master", default=None, metavar="URL",
+                   help="engine master (simulated[k], threads[k], processes[k]); "
+                        "default simulated[partitions]")
     c.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES, default="per_point",
                    help="executor neighbourhood kernel (batched = vectorised fast path; "
                         "only spark/spatial/sequential honour it)")
@@ -276,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable runtime sanitizers (broadcast write-barrier, "
                         "accumulator read guard, race detector); Spark-engine "
                         "algorithms only")
+    c.add_argument("--profile", action="store_true",
+                   help="per-task resource profiling (CPU time, peak RSS) "
+                        "aggregated into --metrics-out; spark/spatial only")
+    c.add_argument("--profile-alloc", action="store_true",
+                   help="additionally track per-task allocation peaks via "
+                        "tracemalloc (slower; implies the tracemalloc "
+                        "overhead on every task)")
     c.set_defaults(func=cmd_cluster)
 
     r = sub.add_parser(
@@ -292,6 +319,9 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--minpts", type=int, default=5)
     r.add_argument("--partitions", type=int, default=4)
     r.add_argument("--algorithm", choices=ALGORITHMS, default="spark")
+    r.add_argument("--master", default=None, metavar="URL",
+                   help="engine master (simulated[k], threads[k], processes[k]); "
+                        "default simulated[partitions]")
     r.add_argument("--seed-policy", choices=SEED_POLICIES, default="all")
     r.add_argument("--merge-strategy", choices=MERGE_STRATEGIES,
                    default="union_find")
@@ -317,6 +347,12 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--trace-out", default=None, metavar="FILE")
     r.add_argument("--metrics-out", default=None, metavar="FILE")
     r.add_argument("--sanitize", action="store_true")
+    r.add_argument("--profile", action="store_true",
+                   help="per-task resource profiling (CPU time, peak RSS) "
+                        "aggregated into --metrics-out")
+    r.add_argument("--profile-alloc", action="store_true",
+                   help="additionally track per-task allocation peaks "
+                        "(tracemalloc; implies --profile)")
     r.set_defaults(func=cmd_run)
 
     s = sub.add_parser("scaling", help="Figure 8-style speedup sweep")
@@ -337,6 +373,52 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--no-timeline", action="store_true",
                     help="skip the ASCII timeline rendering")
     tr.set_defaults(func=cmd_trace)
+
+    rp = sub.add_parser(
+        "report",
+        help="skew/straggler analysis of a span trace",
+        description="Per-partition cost table, imbalance ratio, makespan "
+                    "critical path, and halo-overhead attribution from a "
+                    "trace written with --trace-out (worker task spans "
+                    "populate the table; run with tracing enabled).",
+    )
+    rp.add_argument("trace_path")
+    rp.add_argument("--no-summary", action="store_true",
+                    help="skip the headline phase report, print only the "
+                         "skew analysis")
+    rp.set_defaults(func=cmd_report)
+
+    pf = sub.add_parser(
+        "perf",
+        help="benchmark snapshots and the perf-regression gate",
+    )
+    pfs = pf.add_subparsers(dest="perf_command", required=True)
+    pr = pfs.add_parser("run", help="run a benchmark, write BENCH_<name>.json")
+    pr.add_argument("source")
+    pr.add_argument("-o", "--out", required=True, metavar="FILE")
+    pr.add_argument("--name", default=None,
+                    help="bench name recorded in the file (default: source)")
+    pr.add_argument("--eps", type=float, default=25.0)
+    pr.add_argument("--minpts", type=int, default=5)
+    pr.add_argument("--partitions", type=int, default=4)
+    pr.add_argument("--master", default=None, metavar="URL",
+                    help="engine master; default simulated[partitions]")
+    pr.add_argument("--partitioning", choices=("range", "cells"),
+                    default="range")
+    pr.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES,
+                    default="batched")
+    pr.add_argument("--repeat", type=int, default=3,
+                    help="repetitions; time measures take the min (default 3)")
+    pr.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="also write the last repeat's merged trace")
+    pr.set_defaults(func=cmd_perf_run)
+    pd = pfs.add_parser("diff", help="compare two bench files; exit 1 on "
+                                     "regression")
+    pd.add_argument("baseline")
+    pd.add_argument("current")
+    pd.add_argument("--tolerance", type=float, default=0.3,
+                    help="relative regression tolerance (default 0.3)")
+    pd.set_defaults(func=cmd_perf_diff)
 
     li = sub.add_parser(
         "lint",
@@ -394,6 +476,117 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(render_timeline(events))
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Skew/straggler analysis of a span trace: per-partition cost
+    table, imbalance ratio, makespan critical path, halo overhead."""
+    from repro.obs import (
+        TraceReport,
+        format_report,
+        format_skew_report,
+        load_trace,
+    )
+
+    try:
+        events = load_trace(args.trace_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = TraceReport.from_events(events)
+    if not args.no_summary:
+        print(format_report(report))
+        print()
+    print(format_skew_report(report))
+    return 0
+
+
+def cmd_perf_run(args: argparse.Namespace) -> int:
+    """Run a benchmark and write a ``BENCH_<name>.json`` snapshot.
+
+    Each repeat runs the full job with tracing and metrics on; time
+    measures take the min over repeats (best-of-N rejects scheduler
+    noise), counts come from the first repeat (the run is
+    deterministic, so they cannot legitimately differ).
+    """
+    import os
+
+    from repro.dbscan import SparkDBSCAN
+    from repro.obs import (
+        MetricsRegistry,
+        TraceReport,
+        Tracer,
+        build_bench,
+        write_bench,
+    )
+
+    points = _load_points(args.source)
+    name = args.name or args.source
+    context = {
+        "dataset": args.source,
+        "n": int(points.shape[0]),
+        "d": int(points.shape[1]),
+        "eps": args.eps,
+        "minpts": args.minpts,
+        "partitions": args.partitions,
+        "partitioning": args.partitioning,
+        "neighbor_mode": args.neighbor_mode,
+        "master": args.master or f"simulated[{args.partitions}]",
+        "scale": os.environ.get("REPRO_SCALE", "default"),
+    }
+    print(f"perf run {name!r}: {points.shape[0]} points x{args.repeat} "
+          f"on {context['master']} ({args.partitioning} partitioning)")
+
+    benches = []
+    tracer = None
+    for i in range(args.repeat):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        SparkDBSCAN(args.eps, args.minpts,
+                    num_partitions=args.partitions,
+                    master=args.master,
+                    neighbor_mode=args.neighbor_mode,
+                    partitioning=args.partitioning,
+                    tracer=tracer,
+                    metrics_registry=registry,
+                    profile=True).fit(points)
+        events = [s.to_event() for s in tracer.spans]
+        report = TraceReport.from_events(events)
+        bench = build_bench(name, context, report, registry)
+        benches.append(bench)
+        print(f"  repeat {i + 1}/{args.repeat}: "
+              f"wall {bench['measures']['wall_s']:.3f}s, executors "
+              f"{bench['measures']['executor_total_s']:.3f}s total")
+
+    merged = benches[0]
+    for b in benches[1:]:
+        for k, v in b["measures"].items():
+            if k in merged["measures"]:
+                merged["measures"][k] = min(merged["measures"][k], v)
+    write_bench(args.out, merged)
+    print(f"bench written to {args.out}")
+    if args.trace_out and tracer is not None:
+        tracer.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans; render with `repro report`)")
+    return 0
+
+
+def cmd_perf_diff(args: argparse.Namespace) -> int:
+    """Compare two bench snapshots; exit 1 on regression, 2 if the
+    benches are not comparable (different context)."""
+    from repro.obs import diff_benches, load_bench
+    from repro.obs.perf import format_diff
+
+    try:
+        base = load_bench(args.baseline)
+        cur = load_bench(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    code, lines = diff_benches(base, cur, tolerance=args.tolerance)
+    print(format_diff(code, lines))
+    return code
 
 
 def cmd_lint(args: argparse.Namespace) -> int:

@@ -316,17 +316,22 @@ def cell_local_dbscan(
     n_own = int(len(payload.owned_ids))
     if n_own == 0:
         return []
+    from ..obs.collect import task_span
+
     if len(payload.halo_ids):
         local_points = np.vstack([payload.owned_points, payload.halo_points])
     else:
         local_points = payload.owned_points
-    tree = KDTree(local_points, leaf_size=leaf_size)
+    with task_span("task.kdtree_build", n_own=n_own,
+                   n_halo=int(len(payload.halo_ids))):
+        tree = KDTree(local_points, leaf_size=leaf_size)
 
     if neighbor_mode == "batched":
         # Phase A: every owned neighbourhood in one vectorised call.
-        indptr, indices = tree.query_radius_batch(
-            local_points[:n_own], eps, max_neighbors
-        )
+        with task_span("task.kdtree_query", n=n_own):
+            indptr, indices = tree.query_radius_batch(
+                local_points[:n_own], eps, max_neighbors
+            )
         if counters is not None:
             counters.range_queries += n_own
 

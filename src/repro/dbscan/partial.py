@@ -163,8 +163,13 @@ def local_dbscan(
         )
     lo, hi = partitioner.range_of(partition_id)
     if neighbor_mode == "batched":
+        from ..obs.collect import task_span
+
         # Phase A: one shared-descent kernel call over the owned range.
-        indptr, indices = tree.query_radius_batch(points[lo:hi], eps, max_neighbors)
+        with task_span("task.kdtree_query", n=hi - lo):
+            indptr, indices = tree.query_radius_batch(
+                points[lo:hi], eps, max_neighbors
+            )
         if counters is None:
             # Phase B fast path: row-at-a-time vectorised expansion.
             return _expand_batched(

@@ -123,6 +123,8 @@ class SparkDBSCAN:
         tracer: Tracer | None = None,
         metrics_registry=None,
         sanitize: bool = False,
+        profile: bool = False,
+        profile_alloc: bool = False,
         checkpoint_dir: str | None = None,
         resume: bool = False,
         fail_after: str | None = None,
@@ -142,6 +144,8 @@ class SparkDBSCAN:
             neighbor_mode=neighbor_mode,
             partitioning=partitioning,
             sanitize=sanitize,
+            profile=profile,
+            profile_alloc=profile_alloc,
         )
         self.tracer = tracer or NULL_TRACER
         self.metrics_registry = metrics_registry

@@ -158,7 +158,17 @@ class ProcessBackend(Backend):
         while futures:
             done, futures = wait(futures, return_when=FIRST_COMPLETED)
             for f in done:
-                yield pickle.loads(f.result())
+                # process_entry returns an envelope: the pickled outcome
+                # plus a trailer timing its own serialization, measured
+                # after the outcome's telemetry buffer was sealed.
+                payload, trailer = pickle.loads(f.result())
+                outcome = pickle.loads(payload)
+                if trailer is not None and outcome.telemetry is not None:
+                    outcome.telemetry.add_span(
+                        "task.serialize", start=trailer["start"],
+                        dur=trailer["dur"], nbytes=trailer["nbytes"],
+                    )
+                yield outcome
 
     def shutdown(self) -> None:
         """Release executor resources."""

@@ -56,12 +56,16 @@ class SparkContext:
         tracer: Tracer = NULL_TRACER,
         metrics_registry: Any = None,
         sanitize: bool = False,
+        profile: bool = False,
+        profile_alloc: bool = False,
     ):
         self.master = master
         self.app_name = app_name
         self.tracer = tracer
         self.metrics_registry = metrics_registry
         self.sanitize = sanitize
+        self.profile = profile
+        self.profile_alloc = profile_alloc
         self.mode, self.default_parallelism = parse_master(master)
         self._own_spill_dir = spill_dir is None
         self.spill_dir = spill_dir or tempfile.mkdtemp(prefix="minispark-")
@@ -79,7 +83,13 @@ class SparkContext:
             speculation=speculation,
             speculation_multiplier=speculation_multiplier,
             tracer=tracer,
+            # Worker telemetry rides on any observability sink being live;
+            # profiling is its own opt-in (it reads process-global clocks).
+            collect_telemetry=tracer.enabled or metrics_registry is not None,
+            profile=profile,
+            profile_alloc=profile_alloc,
         )
+        self.event_log = EventLog(event_log_path)
         self.dag_scheduler = DAGScheduler(
             self.task_scheduler,
             self.shuffle_manager,
@@ -87,9 +97,9 @@ class SparkContext:
             tracer=tracer,
             metrics_registry=metrics_registry,
             sanitize=sanitize,
+            event_log=self.event_log,
         )
         self.fault_plan = FaultPlan()  # injected faults/stragglers for tests
-        self.event_log = EventLog(event_log_path)
         self.event_log.emit(
             "app_start", app_name=app_name, master=master, sanitize=sanitize
         )

@@ -13,6 +13,7 @@ one-block-manager-per-executor layout.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -41,6 +42,11 @@ class Task:
     shuffle_inputs: dict[tuple[int, int], list[str]] = field(default_factory=dict)
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
     sanitize: bool = False
+    # Stamped by the TaskScheduler from run-level settings: ship a
+    # WorkerTelemetry buffer back / profile resources / trace allocations.
+    collect_telemetry: bool = False
+    profile: bool = False
+    profile_alloc: bool = False
 
 
 @dataclass
@@ -59,15 +65,51 @@ class TaskOutcome:
     # job immediately, re-raising the error type named here.
     fatal: bool = False
     error_type: str = ""
+    # Worker-side observability payloads, shipped back across the
+    # process boundary and merged by the DAG scheduler.
+    telemetry: Any = None  # repro.obs.collect.WorkerTelemetry | None
+    profile: Any = None    # repro.obs.profile.TaskResourceProfile | None
 
 
-def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
-    """Execute one task attempt; never raises — failures become outcomes."""
+def run_task(
+    task: Task,
+    block_manager: BlockManager,
+    deserialize_s: float | None = None,
+    deserialize_nbytes: int = 0,
+) -> TaskOutcome:
+    """Execute one task attempt; never raises — failures become outcomes.
+
+    ``deserialize_s`` / ``deserialize_nbytes`` let a process-backend
+    entry point report how long unpickling the task took; the time is
+    grafted in as a ``task.deserialize`` span *before* the telemetry
+    anchor (negative start), since the work predates the buffer.
+    """
     metrics = TaskMetrics(task.stage_id, task.partition, task.attempt)
+    metrics.worker_pid = os.getpid()
+    telemetry = None
+    if task.collect_telemetry:
+        from ..obs.collect import WorkerTelemetry
+
+        telemetry = WorkerTelemetry.create(
+            tid=f"task-s{task.stage_id}p{task.partition}"
+        )
+        if deserialize_s is not None:
+            telemetry.add_span(
+                "task.deserialize", start=-deserialize_s, dur=deserialize_s,
+                nbytes=deserialize_nbytes,
+            )
+    profiler = None
+    if task.profile:
+        from ..obs.profile import TaskProfiler
+
+        profiler = TaskProfiler(alloc=task.profile_alloc)
+        profiler.start()
     ctx = task_context.TaskContext(
-        task.stage_id, task.partition, task.attempt, metrics, sanitize=task.sanitize
+        task.stage_id, task.partition, task.attempt, metrics,
+        sanitize=task.sanitize, telemetry=telemetry,
     )
     start = time.perf_counter()
+    cpu_start = time.process_time()
     try:
         with task_context.activate(ctx):
             task.fault_plan.check(task.stage_id, task.partition, task.attempt)
@@ -98,7 +140,15 @@ def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
             # touched, *inside* the context so a mutation fails the task.
             ctx.verify_broadcasts()
         metrics.run_time = time.perf_counter() - start
+        metrics.cpu_time = time.process_time() - cpu_start
         metrics.succeeded = True
+        if telemetry is not None:
+            telemetry.add_span(
+                "task.run", start=start - telemetry.perf_anchor,
+                dur=metrics.run_time, cpu_s=metrics.cpu_time,
+                stage=task.stage_id, partition=task.partition,
+                attempt=task.attempt,
+            )
         return TaskOutcome(
             task.stage_id,
             task.partition,
@@ -108,12 +158,22 @@ def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
             metrics=metrics,
             acc_updates=dict(ctx.acc_updates),
             map_output_paths=map_paths,
+            telemetry=telemetry,
+            profile=profiler.stop() if profiler is not None else None,
         )
     except BaseException as exc:  # noqa: BLE001 - report, scheduler decides
         metrics.run_time = time.perf_counter() - start
+        metrics.cpu_time = time.process_time() - cpu_start
         err = TaskError(task.stage_id, task.partition, task.attempt, exc)
         from .sanitize import SanitizerError
 
+        if telemetry is not None:
+            telemetry.add_span(
+                "task.run", start=start - telemetry.perf_anchor,
+                dur=metrics.run_time, cpu_s=metrics.cpu_time,
+                stage=task.stage_id, partition=task.partition,
+                attempt=task.attempt, failed=True,
+            )
         return TaskOutcome(
             task.stage_id,
             task.partition,
@@ -123,6 +183,8 @@ def run_task(task: Task, block_manager: BlockManager) -> TaskOutcome:
             metrics=metrics,
             fatal=isinstance(exc, SanitizerError),
             error_type=type(exc).__name__,
+            telemetry=telemetry,
+            profile=profiler.stop() if profiler is not None else None,
         )
 
 
@@ -142,13 +204,29 @@ def _get_worker_block_manager() -> BlockManager:
 
 
 def process_entry(blob: bytes) -> bytes:
-    """Run a cloudpickled Task in a worker process; return a pickled outcome."""
+    """Run a cloudpickled Task in a worker process.
+
+    Returns a pickled *envelope* ``(outcome_payload, trailer)`` where
+    ``outcome_payload`` is the pickled `TaskOutcome` and ``trailer``
+    carries the timing of pickling that outcome (``None`` when the task
+    collected no telemetry).  Serialization necessarily happens *after*
+    the outcome — and its telemetry buffer — is sealed, so the driver
+    side (`ProcessBackend.run`) grafts the ``task.serialize`` span from
+    the trailer once the outcome is unpickled.
+    """
     import cloudpickle
 
+    t0 = time.perf_counter()
     task: Task = cloudpickle.loads(blob)
-    outcome = run_task(task, _get_worker_block_manager())
+    deserialize_s = time.perf_counter() - t0
+    outcome = run_task(
+        task, _get_worker_block_manager(),
+        deserialize_s=deserialize_s if task.collect_telemetry else None,
+        deserialize_nbytes=len(blob),
+    )
     try:
-        return cloudpickle.dumps(outcome)
+        t1 = time.perf_counter()
+        payload = cloudpickle.dumps(outcome)
     except Exception as exc:  # unpicklable result value
         fallback = TaskOutcome(
             task.stage_id,
@@ -157,5 +235,18 @@ def process_entry(blob: bytes) -> bytes:
             succeeded=False,
             error=f"task result not serializable: {exc!r}",
             metrics=outcome.metrics,
+            telemetry=outcome.telemetry,
+            profile=outcome.profile,
         )
-        return cloudpickle.dumps(fallback)
+        t1 = time.perf_counter()
+        payload = cloudpickle.dumps(fallback)
+        outcome = fallback
+    serialize_s = time.perf_counter() - t1
+    trailer = None
+    if outcome.telemetry is not None:
+        trailer = {
+            "start": t1 - outcome.telemetry.perf_anchor,
+            "dur": serialize_s,
+            "nbytes": len(payload),
+        }
+    return cloudpickle.dumps((payload, trailer))

@@ -22,6 +22,8 @@ class TaskMetrics:
     partition: int
     attempt: int = 0
     run_time: float = 0.0          # seconds spent executing user code
+    cpu_time: float = 0.0          # process_time delta over the same window
+    worker_pid: int = 0            # OS pid the attempt ran in
     records_read: int = 0
     records_written: int = 0
     shuffle_bytes_written: int = 0
@@ -64,6 +66,19 @@ class StageMetrics:
             if t.succeeded and t.run_time < best.get(t.partition, float("inf")):
                 best[t.partition] = t.run_time
         return [best[p] for p in sorted(best)]
+
+    def imbalance(self) -> float:
+        """Skew ratio: slowest winning task over the mean (1.0 = balanced).
+
+        This is the stage-level number the paper's Fig 8 speedup losses
+        trace back to — a ratio of r means the stage's parallel wall
+        clock is r× what perfectly balanced partitions would give.
+        """
+        durations = self.task_durations()
+        if not durations:
+            return 0.0
+        mean = sum(durations) / len(durations)
+        return max(durations) / mean if mean > 0 else 0.0
 
 
 @dataclass

@@ -1,7 +1,7 @@
 """Observability: structured span tracing, a metrics registry, and
 trace-driven reports.
 
-Three pieces (DESIGN.md §7):
+Six pieces (DESIGN.md §7):
 
 - `spans` — `Tracer` / `Span`: nestable timed regions with labels,
   exported as Chrome trace-event JSON lines (Perfetto-loadable).  The
@@ -11,7 +11,16 @@ Three pieces (DESIGN.md §7):
   `OpCounters` bridge in via `record_task_metrics`/`record_op_counters`.
 - `report` — computes the paper's headline splits (Fig 5 kd-tree
   fraction, Fig 6 driver/executor time and partial-cluster counts,
-  merge stats) directly from a trace, plus a text timeline renderer.
+  merge stats) directly from a trace, plus skew/straggler diagnostics
+  and a text timeline renderer.
+- `collect` — the distributed half: a picklable `WorkerTelemetry`
+  buffer created inside executor workers, shipped back on the
+  `TaskOutcome`, and merged into the driver tracer with worker pids
+  preserved and timestamps rebased to the driver clock.
+- `profile` — opt-in per-task resource profiling (wall vs CPU, peak
+  RSS, tracemalloc allocation peak) aggregated into the registry.
+- `perf` — compact ``BENCH_<name>.json`` snapshots and the regression
+  diff behind the CI perf gate.
 """
 
 from .spans import NULL_TRACER, NullTracer, Span, Tracer, load_trace
@@ -24,7 +33,15 @@ from .registry import (
     record_op_counters,
     record_task_metrics,
 )
-from .report import TraceReport, format_report, render_timeline
+from .report import (
+    TraceReport,
+    format_report,
+    format_skew_report,
+    render_timeline,
+)
+from .collect import WorkerTelemetry, merge_telemetry, task_span
+from .profile import TaskProfiler, TaskResourceProfile, record_task_profile
+from .perf import build_bench, diff_benches, load_bench, write_bench
 
 __all__ = [
     "NULL_TRACER",
@@ -34,12 +51,23 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "Span",
+    "TaskProfiler",
+    "TaskResourceProfile",
     "TraceReport",
     "Tracer",
+    "WorkerTelemetry",
+    "build_bench",
+    "diff_benches",
     "format_report",
+    "format_skew_report",
+    "load_bench",
     "load_trace",
+    "merge_telemetry",
     "parse_exposition",
     "record_op_counters",
     "record_task_metrics",
+    "record_task_profile",
     "render_timeline",
+    "task_span",
+    "write_bench",
 ]

@@ -1,0 +1,175 @@
+"""Perf snapshots and the regression gate: ``BENCH_<name>.json``.
+
+A bench file is a compact, diffable summary of one run, derived from
+telemetry (the trace report and metrics registry) rather than ad-hoc
+timers:
+
+- ``context`` — what was run (dataset, algorithm, partitions, scale).
+  Two benches only compare if their contexts match exactly; comparing
+  across contexts is a category error, reported as exit code 2 so CI
+  distinguishes "misconfigured gate" from "regression".
+- ``measures`` — lower-is-better continuous quantities (executor
+  total/max seconds, merge seconds, peak RSS).  Compared with a
+  relative tolerance plus a small absolute floor, because a 3 ms phase
+  jittering to 4 ms is noise, not a 33% regression.
+- ``counts`` — exact quantities (clusters, broadcast/halo bytes).  The
+  run is deterministic, so any drift here is a behaviour change and
+  fails the gate regardless of tolerance.
+
+``repro perf run`` writes these; ``repro perf diff`` compares two and
+exits nonzero on regression — the CI perf gate is exactly that diff
+against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .report import TraceReport
+
+__all__ = [
+    "build_bench",
+    "diff_benches",
+    "format_diff",
+    "load_bench",
+    "write_bench",
+]
+
+#: Absolute slack added on top of the relative tolerance, per unit
+#: suffix: sub-floor deltas are never regressions.
+_ABS_FLOORS = {"_s": 0.005, "_bytes": 16 * 1024 * 1024}
+
+#: Bench schema version; bumped when keys change meaning.
+_VERSION = 1
+
+
+def build_bench(
+    name: str,
+    context: dict[str, Any],
+    report: TraceReport,
+    registry: Any = None,
+    extra_measures: dict[str, float] | None = None,
+    extra_counts: dict[str, int] | None = None,
+) -> dict[str, Any]:
+    """Assemble a bench dict from a run's telemetry."""
+    measures: dict[str, float] = {
+        "wall_s": round(report.wall_s, 6),
+        "executor_total_s": round(report.executor_total_s, 6),
+        "executor_max_s": round(report.executor_max_s, 6),
+        "merge_s": round(report.driver_phases.get("driver.merge", 0.0), 6),
+        "kdtree_build_s": round(report.kdtree_build_s, 6),
+    }
+    counts: dict[str, int] = {
+        "num_executor_spans": report.num_executor_spans,
+        "total_partials": report.total_partials,
+        "broadcast_bytes": report.broadcast_bytes,
+    }
+    if registry is not None:
+        from .profile import max_peak_rss
+
+        rss = max_peak_rss(registry)
+        if rss:
+            measures["peak_rss_bytes"] = float(rss)
+        halo = registry.get("repro_cell_halo_bytes")
+        if halo is not None:
+            counts["halo_bytes"] = int(halo.value())
+    if extra_measures:
+        measures.update({k: round(v, 6) for k, v in extra_measures.items()})
+    if extra_counts:
+        counts.update(extra_counts)
+    return {
+        "version": _VERSION,
+        "name": name,
+        "context": context,
+        "measures": measures,
+        "counts": counts,
+    }
+
+
+def write_bench(path: str, bench: dict[str, Any]) -> None:
+    """Write a bench file (stable key order, newline-terminated)."""
+    with open(path, "w") as f:
+        json.dump(bench, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    """Read a bench file back, validating the minimal shape."""
+    with open(path) as f:
+        bench = json.load(f)
+    for key in ("name", "context", "measures", "counts"):
+        if key not in bench:
+            raise ValueError(f"{path}: not a bench file (missing {key!r})")
+    return bench
+
+
+def _floor_for(measure: str) -> float:
+    for suffix, floor in _ABS_FLOORS.items():
+        if measure.endswith(suffix):
+            return floor
+    return 0.0
+
+
+def diff_benches(
+    base: dict[str, Any],
+    cur: dict[str, Any],
+    tolerance: float = 0.3,
+) -> tuple[int, list[str]]:
+    """Compare two benches; returns (exit_code, report_lines).
+
+    Exit codes: 0 = within tolerance, 1 = regression (a measure grew
+    past tolerance, or a count changed), 2 = benches are not comparable
+    (different context).
+    """
+    lines: list[str] = []
+    if base["context"] != cur["context"]:
+        lines.append("benches are not comparable: context differs")
+        for k in sorted(set(base["context"]) | set(cur["context"])):
+            bv, cv = base["context"].get(k), cur["context"].get(k)
+            if bv != cv:
+                lines.append(f"  {k}: baseline={bv!r} current={cv!r}")
+        return 2, lines
+    code = 0
+    lines.append(
+        f"perf diff: {base['name']} -> {cur['name']} "
+        f"(tolerance {tolerance:.0%})"
+    )
+    for measure in sorted(set(base["measures"]) | set(cur["measures"])):
+        bv = base["measures"].get(measure)
+        cv = cur["measures"].get(measure)
+        if bv is None or cv is None:
+            lines.append(f"  ~ {measure:<20} only in "
+                         f"{'current' if bv is None else 'baseline'}; skipped")
+            continue
+        delta = cv - bv
+        rel = delta / bv if bv > 0 else 0.0
+        limit = bv * tolerance + _floor_for(measure)
+        status = "ok"
+        if delta > limit:
+            status = "REGRESSION"
+            code = 1
+        elif delta < -limit:
+            status = "improved"
+        lines.append(
+            f"  {'!' if status == 'REGRESSION' else ' '} {measure:<20} "
+            f"{bv:>12.6g} -> {cv:>12.6g}  ({rel:+.1%})  {status}"
+        )
+    for count in sorted(set(base["counts"]) | set(cur["counts"])):
+        bv = base["counts"].get(count)
+        cv = cur["counts"].get(count)
+        if bv == cv:
+            lines.append(f"    {count:<20} {bv} (exact)")
+        else:
+            code = max(code, 1)
+            lines.append(
+                f"  ! {count:<20} {bv} -> {cv}  COUNT CHANGED "
+                "(deterministic quantity drifted)"
+            )
+    lines.append("result: " + ("PASS" if code == 0 else "FAIL"))
+    return code, lines
+
+
+def format_diff(code: int, lines: list[str]) -> str:
+    """Join diff lines for printing."""
+    return "\n".join(lines)

@@ -26,7 +26,12 @@ from typing import Any
 
 from .spans import Tracer, iter_complete_events
 
-__all__ = ["TraceReport", "format_report", "render_timeline"]
+__all__ = [
+    "TraceReport",
+    "format_report",
+    "format_skew_report",
+    "render_timeline",
+]
 
 #: Span names considered driver-side algorithm phases.  Anything with
 #: ``cat="driver"`` counts; this ordering is only used for display.
@@ -55,19 +60,27 @@ def _contains(outer: dict[str, Any], inner: dict[str, Any]) -> bool:
 class TraceReport:
     """Headline numbers extracted from one run's span trace."""
 
-    wall_s: float = 0.0               # outermost span's duration
+    wall_s: float = 0.0               # trace extent: max end − min start
     kdtree_build_s: float = 0.0
     driver_s: float = 0.0             # top-level cat="driver" spans
     executor_total_s: float = 0.0     # sum of cat="executor" spans
     executor_max_s: float = 0.0       # slowest executor span
     engine_task_s: float = 0.0        # cat="engine" task-attempt spans
     num_executor_spans: int = 0
+    num_spans: int = 0                # all complete events folded in
     driver_phases: dict[str, float] = field(default_factory=dict)
     partials_by_partition: dict[int, int] = field(default_factory=dict)
     merge_stats: dict[str, Any] = field(default_factory=dict)
     shuffle_bytes_written: int = 0
     shuffle_bytes_read: int = 0
     broadcast_bytes: int = 0
+    # -- distributed telemetry (PR 7): worker sub-phases + skew ------------
+    worker_phase_s: dict[str, float] = field(default_factory=dict)
+    worker_pids: list[int] = field(default_factory=list)
+    # partition -> winning successful attempt's seconds / worker pid
+    partition_costs: dict[int, float] = field(default_factory=dict)
+    partition_pids: dict[int, int] = field(default_factory=dict)
+    halo_stats: dict[str, Any] = field(default_factory=dict)
 
     # -- derived ------------------------------------------------------------
     @property
@@ -94,12 +107,68 @@ class TraceReport:
         """Partial clusters across all partitions (Figure 6)."""
         return sum(self.partials_by_partition.values())
 
+    @property
+    def is_empty(self) -> bool:
+        """True when no complete span event was folded in (an empty
+        trace, or one holding only instant/metadata events)."""
+        return self.num_spans == 0
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Skew: slowest partition over the mean partition cost.
+
+        1.0 is perfectly balanced; a ratio of r means the parallel
+        executor wall-clock is r× the balanced ideal — the number the
+        paper's Fig 8 speedup losses reduce to.
+        """
+        costs = list(self.partition_costs.values())
+        if not costs:
+            return 0.0
+        mean = sum(costs) / len(costs)
+        return max(costs) / mean if mean > 0 else 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        """Critical path at one partition per core: the slowest
+        partition's winning task time bounds the stage wall-clock."""
+        return max(self.partition_costs.values(), default=0.0)
+
+    @property
+    def straggler_partition(self) -> int | None:
+        """Partition on the critical path (None without task costs)."""
+        if not self.partition_costs:
+            return None
+        return max(self.partition_costs, key=self.partition_costs.__getitem__)
+
+    @property
+    def halo_overhead_fraction(self) -> float:
+        """Cell plan: replicated halo bytes over total shipped payload."""
+        halo = float(self.halo_stats.get("halo_nbytes", 0))
+        payload = float(self.halo_stats.get("payload_nbytes", 0))
+        return halo / payload if payload > 0 else 0.0
+
     @classmethod
     def from_events(cls, events: list[dict[str, Any]]) -> "TraceReport":
-        """Fold Chrome trace events into a report."""
+        """Fold Chrome trace events into a report.
+
+        Total on an empty (or instant-only) trace: returns the explicit
+        empty report (``is_empty``) rather than raising.
+        """
         xs = list(iter_complete_events(events))
         report = cls()
+        if not xs:
+            return report
+        min_start = min(e["ts"] for e in xs)
+        max_end = max(e["ts"] + e["dur"] for e in xs)
+        # Extent of the trace, not distance from t=0: merged worker
+        # traces (and any trimmed trace) legitimately start after 0.
+        report.wall_s = (max_end - min_start) / 1e6
+        report.num_spans = len(xs)
         driver = [e for e in xs if e.get("cat") == "driver"]
+        # partition -> durations of successful engine task attempts; the
+        # winning (fastest) one defines the partition's cost, matching
+        # StageMetrics.task_durations under speculation.
+        attempt_costs: dict[int, list[float]] = {}
         for e in xs:
             name = e.get("name", "?")
             cat = e.get("cat", "")
@@ -123,6 +192,10 @@ class TraceReport:
                     }
                 if name == "driver.broadcast":
                     report.broadcast_bytes += int(args.get("nbytes", 0))
+                if name == "driver.setup":
+                    for k in ("halo_nbytes", "payload_nbytes", "halo_points"):
+                        if k in args:
+                            report.halo_stats[k] = args[k]
             elif cat == "executor":
                 report.executor_total_s += dur_s
                 report.executor_max_s = max(report.executor_max_s, dur_s)
@@ -136,12 +209,27 @@ class TraceReport:
             elif cat == "engine":
                 if name.startswith("task"):
                     report.engine_task_s += dur_s
+                    if "partition" in args and args.get("succeeded", True):
+                        p = int(args["partition"])
+                        attempt_costs.setdefault(p, []).append(dur_s)
+                        pid = int(args.get("worker_pid", 0))
+                        if pid:
+                            report.partition_pids[p] = pid
                 report.shuffle_bytes_written += int(
                     args.get("shuffle_bytes_written", 0)
                 )
                 report.shuffle_bytes_read += int(args.get("shuffle_bytes_read", 0))
-            span_end = (e["ts"] + e["dur"]) / 1e6
-            report.wall_s = max(report.wall_s, span_end)
+            elif cat == "worker":
+                report.worker_phase_s[name] = (
+                    report.worker_phase_s.get(name, 0.0) + dur_s
+                )
+                pid = int(e.get("pid", 0))
+                if pid and pid not in report.worker_pids:
+                    report.worker_pids.append(pid)
+        report.partition_costs = {
+            p: min(costs) for p, costs in sorted(attempt_costs.items())
+        }
+        report.worker_pids.sort()
         return report
 
     @classmethod
@@ -159,6 +247,9 @@ def _fmt_s(seconds: float) -> str:
 def format_report(report: TraceReport) -> str:
     """Render the headline splits as text."""
     lines = ["=== trace report ==="]
+    if report.is_empty:
+        lines.append("(no spans)")
+        return "\n".join(lines)
     lines.append(f"wall span              {_fmt_s(report.wall_s)}")
     lines.append(
         f"kd-tree build          {_fmt_s(report.kdtree_build_s)}  "
@@ -197,11 +288,72 @@ def format_report(report: TraceReport) -> str:
         )
         for p in sorted(report.partials_by_partition):
             lines.append(f"  partition {p:<4} {report.partials_by_partition[p]}")
+    if report.worker_phase_s:
+        lines.append("")
+        pids = ", ".join(str(p) for p in report.worker_pids) or "driver"
+        lines.append(f"worker task phases (pids: {pids}):")
+        for name in sorted(report.worker_phase_s):
+            lines.append(
+                f"  {name:<28} {_fmt_s(report.worker_phase_s[name])}"
+            )
     if report.merge_stats:
         lines.append("")
         lines.append("merge: " + ", ".join(
             f"{k}={v}" for k, v in sorted(report.merge_stats.items())
         ))
+    return "\n".join(lines)
+
+
+def format_skew_report(report: TraceReport, width: int = 40) -> str:
+    """Per-partition cost table with skew/straggler diagnostics.
+
+    Partition costs come from the winning successful task attempt of
+    each partition (engine spans), so the table reflects what actually
+    bounded the stage — speculation losers and retries are excluded.
+    """
+    lines = ["=== skew report ==="]
+    if not report.partition_costs:
+        lines.append("(no per-partition task spans in trace)")
+        return "\n".join(lines)
+    costs = report.partition_costs
+    worst = max(costs.values())
+    mean = sum(costs.values()) / len(costs)
+    lines.append(
+        f"{len(costs)} partitions, makespan {_fmt_s(report.makespan_s)} "
+        f"(critical path: partition {report.straggler_partition})"
+    )
+    lines.append(
+        f"imbalance ratio        {report.imbalance_ratio:.2f}x "
+        f"(max/mean; 1.00x = balanced)"
+    )
+    lines.append(
+        f"balanced ideal         {_fmt_s(mean)} per partition "
+        f"-> {_fmt_s(worst - mean)} lost to skew"
+    )
+    lines.append("")
+    lines.append(f"{'partition':<10} {'task time':>10} {'pid':>8}  cost")
+    for p, cost in costs.items():
+        bar = "#" * max(1, int(width * cost / worst)) if worst > 0 else ""
+        pid = report.partition_pids.get(p, 0) or "-"
+        flag = "  <- straggler" if p == report.straggler_partition else ""
+        lines.append(
+            f"{p:<10} {_fmt_s(cost):>10} {pid!s:>8}  {bar}{flag}"
+        )
+    if report.worker_phase_s:
+        lines.append("")
+        lines.append("worker phase totals:")
+        for name in sorted(report.worker_phase_s):
+            lines.append(
+                f"  {name:<28} {_fmt_s(report.worker_phase_s[name])}"
+            )
+    if report.halo_stats:
+        lines.append("")
+        halo = int(report.halo_stats.get("halo_nbytes", 0))
+        payload = int(report.halo_stats.get("payload_nbytes", 0))
+        lines.append(
+            f"halo overhead: {halo} of {payload} payload bytes replicated "
+            f"({100.0 * report.halo_overhead_fraction:.1f}%)"
+        )
     return "\n".join(lines)
 
 
@@ -211,7 +363,13 @@ def render_timeline(events: list[dict[str, Any]], width: int = 60) -> str:
     Rows are grouped by lane (``tid``) and ordered by start time;
     nesting (from the exported ``depth`` arg) indents the span name.
     """
-    xs = sorted(iter_complete_events(events), key=lambda e: (e["tid"] != "driver", str(e["tid"]), e["ts"]))
+    xs = sorted(
+        iter_complete_events(events),
+        key=lambda e: (
+            e.get("tid", "driver") != "driver", str(e.get("tid", "driver")),
+            e["ts"],
+        ),
+    )
     if not xs:
         return "(no spans)"
     t1 = max(e["ts"] + e["dur"] for e in xs)
@@ -226,7 +384,7 @@ def render_timeline(events: list[dict[str, Any]], width: int = 60) -> str:
     lines = [f"timeline ({_fmt_s(t1 / 1e6)} total, {len(xs)} spans)"]
     last_tid = None
     for e in xs:
-        tid = str(e["tid"])
+        tid = str(e.get("tid", "driver"))
         if tid != last_tid:
             lines.append(f"-- lane {tid} --")
             last_tid = tid

@@ -32,6 +32,12 @@ Span categories (``cat``) are load-bearing for `repro.obs.report`:
 - ``"engine"``    — scheduler internals (jobs, stages, task attempts).
   Reported separately, never double-counted into the driver/executor
   split.
+- ``"worker"``    — task-internal sub-phases (deserialize, expand,
+  kd-tree build, serialize) measured *inside* executor workers and
+  merged back by `repro.obs.collect` with the worker pid preserved and
+  timestamps rebased to the driver clock.  Reported as a phase
+  breakdown, never double-counted into executor time (the enclosing
+  ``cat="executor"`` span already covers them).
 """
 
 from __future__ import annotations
@@ -57,6 +63,7 @@ class Span:
     cpu_start: float = 0.0      # process_time seconds
     cpu_end: float = 0.0
     depth: int = 0
+    pid: int = 0                # 0 = driver; worker spans carry the OS pid
     labels: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -82,7 +89,7 @@ class Span:
             "ph": "X",
             "ts": round(self.start * 1e6, 3),
             "dur": round(self.duration * 1e6, 3),
-            "pid": 0,
+            "pid": self.pid,
             "tid": self.tid,
             "args": {
                 **self.labels,
@@ -124,6 +131,10 @@ class Tracer:
 
     def __init__(self) -> None:
         self._origin = time.perf_counter()
+        # Wall-clock twin of the origin: worker telemetry created in other
+        # processes anchors itself with time.time(), and the difference to
+        # this value rebases its spans onto the tracer's timeline.
+        self._origin_wall = time.time()  # lint: allow[DET001] clock-rebase anchor
         self._spans: list[Span] = []
         self._lock = threading.Lock()
         self._tls = threading.local()
@@ -147,17 +158,21 @@ class Tracer:
         cat: str = "",
         tid: str = "driver",
         start: float | None = None,
+        pid: int = 0,
+        cpu_s: float = 0.0,
         **labels: Any,
     ) -> Span:
         """Graft an externally measured span (e.g. a task that ran in a
         worker process).  ``start`` is tracer-relative seconds; when
-        omitted the span is back-dated so it ends now."""
+        omitted the span is back-dated so it ends now.  ``pid`` names the
+        process the work ran in (0 = driver) and ``cpu_s`` carries an
+        externally measured CPU time."""
         now = time.perf_counter() - self._origin
         if start is None:
             start = now - duration
         span = Span(
             name=name, cat=cat, tid=tid, start=start, end=start + duration,
-            depth=0, labels=labels,
+            cpu_start=0.0, cpu_end=cpu_s, depth=0, pid=pid, labels=labels,
         )
         with self._lock:
             self._spans.append(span)
@@ -205,9 +220,20 @@ class Tracer:
         return [s.to_event() for s in sorted(self.spans, key=lambda s: s.start)]
 
     def write_jsonl(self, path: str) -> None:
-        """Write one Chrome trace event per line (Perfetto-loadable)."""
+        """Write one Chrome trace event per line (Perfetto-loadable).
+
+        Besides the "X" span events, one ``process_name`` metadata event
+        is emitted per distinct pid so Perfetto labels the driver and
+        worker process tracks.
+        """
+        events = self.to_events()
         with open(path, "w") as f:
-            for event in self.to_events():
+            for pid in sorted({e.get("pid", 0) for e in events}):
+                f.write(json.dumps({
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "args": {"name": "driver" if pid == 0 else f"worker-{pid}"},
+                }) + "\n")
+            for event in events:
                 f.write(json.dumps(event) + "\n")
 
 
@@ -219,6 +245,7 @@ class _NullSpan:
     cat = ""
     tid = "driver"
     depth = 0
+    pid = 0
     start = end = cpu_start = cpu_end = 0.0
     duration = cpu_time = 0.0
     labels: dict[str, Any] = {}
@@ -250,6 +277,7 @@ class NullTracer(Tracer):
 
     def __init__(self) -> None:  # no lock, no storage
         self._origin = 0.0
+        self._origin_wall = 0.0
 
     def span(self, name: str, cat: str = "", tid: str | None = None,
              **labels: Any) -> _NullHandle:  # type: ignore[override]
@@ -257,6 +285,7 @@ class NullTracer(Tracer):
 
     def add_span(self, name: str, duration: float, cat: str = "",
                  tid: str = "driver", start: float | None = None,
+                 pid: int = 0, cpu_s: float = 0.0,
                  **labels: Any) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN
 

@@ -78,6 +78,10 @@ class RunConfig:
     neighbor_mode: str = "per_point"
     partitioning: str = "range"
     sanitize: bool = False
+    # Runtime-only observability knobs (like master/sanitize, excluded
+    # from the content hash: they never change the answer).
+    profile: bool = False
+    profile_alloc: bool = False
     # sequential only
     impl: str = "array"
     # naive only

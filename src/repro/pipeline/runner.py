@@ -157,10 +157,17 @@ class PipelineRunner:
                 f"stage {stage.name!r} requires {missing} but no earlier "
                 f"stage provided them (plan {self.plan.name!r})"
             )
+        stage_start = time.perf_counter()
         with state.tracer.span(
             "pipeline.stage", cat="pipeline", stage=stage.name, status=RUN,
         ):
             stage.run(state)
+        if self.metrics_registry is not None:
+            self.metrics_registry.histogram(
+                "repro_pipeline_stage_seconds",
+                "Wall-clock per executed pipeline stage.",
+                ("stage",),
+            ).observe(time.perf_counter() - stage_start, stage=stage.name)
         state.mark(*stage.provides)
         state.stage_status[stage.name] = RUN
 

@@ -32,6 +32,7 @@ from ..engine.partitioner import IndexRangePartitioner
 from ..kdtree import KDTree
 from ..dbscan.merge import MergeOutcome, merge_partials
 from ..dbscan.partial import OpCounters, PartialCluster, local_dbscan
+from ..obs.collect import task_span
 from .checkpoint import CheckpointStore
 from .state import PipelineState
 
@@ -212,13 +213,21 @@ class LocalExpand(Stage):
         collect_counters = counters_acc is not None
 
         def run_partition(pid: int, it) -> None:
-            t = tree_b.value
+            # Worker sub-phase spans: no-ops unless the run collects
+            # telemetry, merged into the driver trace either way.
+            with task_span("task.broadcast_fetch", partition=pid) as bsp:
+                t = tree_b.value
+                bsp.annotate(n=len(t.points))
             counters = OpCounters() if collect_counters else None
-            result = local_dbscan(
-                pid, it, t.points, t, eps, minpts, partitioner,
-                seed_policy=seed_policy, max_neighbors=max_neighbors,
-                neighbor_mode=neighbor_mode, counters=counters,
-            )
+            with task_span(
+                "task.expand", partition=pid, mode=neighbor_mode,
+            ) as esp:
+                result = local_dbscan(
+                    pid, it, t.points, t, eps, minpts, partitioner,
+                    seed_policy=seed_policy, max_neighbors=max_neighbors,
+                    neighbor_mode=neighbor_mode, counters=counters,
+                )
+                esp.annotate(partials=len(result))
             # Algorithm 2 lines 26-28: ship partial clusters to the driver
             # through the accumulator as the task finishes.
             acc.add(result)

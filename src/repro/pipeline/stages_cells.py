@@ -171,14 +171,23 @@ class LocalIndexExpand(Stage):
         collect_counters = counters_acc is not None
 
         def run_partition(pid: int, it) -> None:
+            from ..obs.collect import task_span
+
             counters = OpCounters() if collect_counters else None
             result = []
-            for payload in it:
-                result.extend(cell_local_dbscan(
-                    payload, eps, minpts, leaf_size=leaf_size,
-                    seed_policy=seed_policy, max_neighbors=max_neighbors,
-                    neighbor_mode=neighbor_mode, counters=counters,
-                ))
+            with task_span("task.expand", partition=pid,
+                           mode=neighbor_mode) as esp:
+                n_own = n_halo = 0
+                for payload in it:
+                    n_own += len(payload.owned_ids)
+                    n_halo += len(payload.halo_ids)
+                    result.extend(cell_local_dbscan(
+                        payload, eps, minpts, leaf_size=leaf_size,
+                        seed_policy=seed_policy, max_neighbors=max_neighbors,
+                        neighbor_mode=neighbor_mode, counters=counters,
+                    ))
+                esp.annotate(partials=len(result), n_own=n_own,
+                             n_halo=n_halo)
             # Partial clusters ship to the driver through the accumulator
             # as the task finishes, exactly like the range plan.
             acc.add(result)

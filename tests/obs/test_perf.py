@@ -1,0 +1,122 @@
+"""Bench snapshots and the regression-gate diff semantics."""
+
+import copy
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceReport,
+    Tracer,
+    build_bench,
+    diff_benches,
+    load_bench,
+    write_bench,
+)
+
+CONTEXT = {"dataset": "c10k", "partitions": 4, "scale": "default"}
+
+
+def _bench():
+    tr = Tracer()
+    tr.add_span("driver.kdtree_build", 1.0, cat="driver", start=0.0)
+    tr.add_span("executor.partition_expand", 3.0, cat="executor",
+                tid="executor-0", start=1.0, partition=0, partials=4)
+    tr.add_span("executor.partition_expand", 2.0, cat="executor",
+                tid="executor-1", start=1.0, partition=1, partials=6)
+    tr.add_span("driver.broadcast", 0.5, cat="driver", start=0.5, nbytes=2048)
+    tr.add_span("driver.merge", 1.0, cat="driver", start=4.0)
+    return build_bench("t", dict(CONTEXT), TraceReport.from_tracer(tr))
+
+
+class TestBuildBench:
+    def test_measures_and_counts_from_report(self):
+        b = _bench()
+        assert b["measures"]["executor_total_s"] == pytest.approx(5.0)
+        assert b["measures"]["executor_max_s"] == pytest.approx(3.0)
+        assert b["measures"]["kdtree_build_s"] == pytest.approx(1.0)
+        assert b["measures"]["merge_s"] == pytest.approx(1.0)
+        assert b["counts"] == {
+            "num_executor_spans": 2,
+            "total_partials": 10,
+            "broadcast_bytes": 2048,
+        }
+
+    def test_registry_contributes_rss_and_halo(self):
+        from repro.obs import record_task_profile
+        from repro.obs.profile import TaskResourceProfile
+
+        reg = MetricsRegistry()
+        record_task_profile(
+            reg, TaskResourceProfile(max_rss_bytes=12345678),
+            stage=0, partition=0,
+        )
+        reg.gauge("repro_cell_halo_bytes", "halo").set(999)
+        b = build_bench("t", dict(CONTEXT), TraceReport.from_events([]), reg)
+        assert b["measures"]["peak_rss_bytes"] == pytest.approx(12345678)
+        assert b["counts"]["halo_bytes"] == 999
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        write_bench(path, _bench())
+        assert load_bench(path) == _bench()
+
+    def test_load_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"name": "t"}')
+        with pytest.raises(ValueError, match="not a bench file"):
+            load_bench(str(path))
+
+
+class TestDiffBenches:
+    def test_identical_passes(self):
+        code, lines = diff_benches(_bench(), _bench())
+        assert code == 0
+        assert lines[-1] == "result: PASS"
+
+    def test_regression_fails(self):
+        cur = copy.deepcopy(_bench())
+        cur["measures"]["executor_total_s"] *= 2.0
+        code, lines = diff_benches(_bench(), cur, tolerance=0.3)
+        assert code == 1
+        assert any("REGRESSION" in ln and "executor_total_s" in ln
+                   for ln in lines)
+        assert lines[-1] == "result: FAIL"
+
+    def test_improvement_passes(self):
+        cur = copy.deepcopy(_bench())
+        cur["measures"]["executor_total_s"] *= 0.25
+        code, lines = diff_benches(_bench(), cur, tolerance=0.3)
+        assert code == 0
+        assert any("improved" in ln for ln in lines)
+
+    def test_absolute_floor_forgives_tiny_jitter(self):
+        # 3 ms -> 4 ms is +33% but well under the 5 ms floor for _s
+        # measures: noise, not a regression.
+        base, cur = copy.deepcopy(_bench()), copy.deepcopy(_bench())
+        base["measures"]["merge_s"] = 0.003
+        cur["measures"]["merge_s"] = 0.004
+        code, _ = diff_benches(base, cur, tolerance=0.3)
+        assert code == 0
+
+    def test_count_drift_fails_regardless_of_tolerance(self):
+        cur = copy.deepcopy(_bench())
+        cur["counts"]["total_partials"] += 1
+        code, lines = diff_benches(_bench(), cur, tolerance=10.0)
+        assert code == 1
+        assert any("COUNT CHANGED" in ln for ln in lines)
+
+    def test_context_mismatch_is_exit_2(self):
+        cur = copy.deepcopy(_bench())
+        cur["context"]["partitions"] = 8
+        code, lines = diff_benches(_bench(), cur)
+        assert code == 2
+        assert any("not comparable" in ln for ln in lines)
+        assert any("partitions" in ln for ln in lines)
+
+    def test_one_sided_measure_is_skipped_not_failed(self):
+        cur = copy.deepcopy(_bench())
+        cur["measures"]["peak_rss_bytes"] = 1.0
+        code, lines = diff_benches(_bench(), cur)
+        assert code == 0
+        assert any("only in current" in ln for ln in lines)

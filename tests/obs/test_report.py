@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs import TraceReport, Tracer, format_report, render_timeline
+from repro.obs import (
+    TraceReport,
+    Tracer,
+    format_report,
+    format_skew_report,
+    render_timeline,
+)
 from repro.obs.report import _contains
 
 
@@ -112,3 +118,106 @@ class TestRendering:
 
     def test_render_timeline_empty(self):
         assert render_timeline([]) == "(no spans)"
+
+
+def _skew_tracer() -> Tracer:
+    """Engine task attempts + worker sub-phases for the skew report.
+
+    Partition 0 has two successful attempts (a speculation race): the
+    winner (1.0s) defines its cost.  Partition 1 is the 4.0s straggler.
+    """
+    tr = Tracer()
+    tr.add_span("task[s0,p0]", 1.5, cat="engine", tid="task-p0", start=0.0,
+                partition=0, succeeded=True, worker_pid=111)
+    tr.add_span("task[s0,p0]", 1.0, cat="engine", tid="task-p0s", start=0.2,
+                partition=0, succeeded=True, worker_pid=222)
+    tr.add_span("task[s0,p1]", 4.0, cat="engine", tid="task-p1", start=0.0,
+                partition=1, succeeded=True, worker_pid=111)
+    tr.add_span("task[s0,p2]", 9.0, cat="engine", tid="task-p2", start=0.0,
+                partition=2, succeeded=False, worker_pid=111)
+    tr.add_span("task.expand", 0.9, cat="worker", tid="worker", start=0.05,
+                pid=111)
+    tr.add_span("task.kdtree_build", 0.1, cat="worker", tid="worker",
+                start=0.0, pid=222)
+    tr.add_span("driver.setup", 0.2, cat="driver", start=0.0,
+                halo_nbytes=250, payload_nbytes=1000, halo_points=25)
+    return tr
+
+
+class TestWallSpanOffset:
+    def test_wall_is_extent_not_distance_from_zero(self):
+        # Regression: a trace whose first span starts late (merged
+        # worker traces, trimmed traces) must report the extent
+        # max(end) - min(start), not max(end) - 0.
+        tr = Tracer()
+        tr.add_span("driver.kdtree_build", 1.0, cat="driver", start=5.0)
+        tr.add_span("driver.merge", 1.0, cat="driver", start=7.0)
+        r = TraceReport.from_tracer(tr)
+        assert r.wall_s == pytest.approx(3.0)  # 8.0 - 5.0, not 8.0
+
+
+class TestEmptyAndEventsOnlyTraces:
+    def test_empty_report_renders_no_spans_line(self):
+        r = TraceReport.from_events([])
+        assert r.is_empty
+        assert "(no spans)" in format_report(r)
+        assert "(no per-partition task spans" in format_skew_report(r)
+
+    def test_events_only_trace_is_the_empty_report(self):
+        # Metadata + instant events but no complete ("X") span: the
+        # report must come back explicitly empty, not raise.
+        events = [
+            {"name": "process_name", "ph": "M", "pid": 0,
+             "args": {"name": "driver"}},
+            {"name": "marker", "ph": "i", "ts": 10.0},
+            {"name": "broken", "ph": "X", "ts": "not-a-number", "dur": 5},
+        ]
+        r = TraceReport.from_events(events)
+        assert r.is_empty
+        assert "(no spans)" in format_report(r)
+        assert render_timeline(events) == "(no spans)"
+
+    def test_render_timeline_tolerates_missing_tid(self):
+        events = [{"name": "a", "ph": "X", "ts": 0.0, "dur": 5.0}]
+        text = render_timeline(events)
+        assert "-- lane driver --" in text
+
+
+class TestSkewReport:
+    def test_partition_costs_take_winning_attempt(self):
+        r = TraceReport.from_tracer(_skew_tracer())
+        # p0: min(1.5, 1.0); p2's failed attempt is excluded entirely.
+        assert r.partition_costs == {0: pytest.approx(1.0),
+                                     1: pytest.approx(4.0)}
+        assert r.makespan_s == pytest.approx(4.0)
+        assert r.straggler_partition == 1
+        assert r.imbalance_ratio == pytest.approx(4.0 / 2.5)
+
+    def test_worker_phases_and_pids(self):
+        r = TraceReport.from_tracer(_skew_tracer())
+        assert r.worker_phase_s == {
+            "task.expand": pytest.approx(0.9),
+            "task.kdtree_build": pytest.approx(0.1),
+        }
+        assert r.worker_pids == [111, 222]
+
+    def test_halo_attribution(self):
+        r = TraceReport.from_tracer(_skew_tracer())
+        assert r.halo_stats["halo_nbytes"] == 250
+        assert r.halo_overhead_fraction == pytest.approx(0.25)
+
+    def test_format_skew_report_table(self):
+        text = format_skew_report(TraceReport.from_tracer(_skew_tracer()))
+        assert "imbalance ratio" in text
+        assert "1.60x" in text
+        assert "<- straggler" in text
+        assert "critical path: partition 1" in text
+        assert "halo overhead: 250 of 1000" in text and "25.0%" in text
+        # pid column shows where each partition's winner ran
+        assert "222" in text
+
+    def test_report_without_task_spans_degrades_gracefully(self):
+        tr = Tracer()
+        tr.add_span("driver.merge", 1.0, cat="driver", start=0.0)
+        text = format_skew_report(TraceReport.from_tracer(tr))
+        assert "(no per-partition task spans in trace)" in text

@@ -119,7 +119,11 @@ class TestExport:
         path = str(tmp_path / "trace.jsonl")
         tr.write_jsonl(path)
         events = load_trace(path)
-        assert {e["name"] for e in events} == {"outer", "inner"}
+        spans = [e for e in events if e.get("ph") == "X"]
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        # one process_name metadata record per distinct pid (Perfetto lanes)
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert len(meta) == 1 and meta[0]["name"] == "process_name"
         with open(path) as f:
             for line in f:
                 json.loads(line)  # one event per line

@@ -197,6 +197,156 @@ class TestRun:
         assert "sanitize" in capsys.readouterr().err
 
 
+class TestReportAndPerf:
+    @pytest.fixture
+    def points_file(self, tmp_path):
+        from repro.data import generate_clustered, save_points
+
+        g = generate_clustered(n=400, num_clusters=3, cluster_std=8.0, seed=5)
+        path = tmp_path / "p.txt"
+        save_points(str(path), g.points)
+        return str(path)
+
+    @pytest.fixture
+    def trace_file(self, points_file, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["cluster", points_file, "--partitions", "2",
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        return str(trace_path)
+
+    def test_report_prints_skew_table(self, trace_file, capsys):
+        assert main(["report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "skew report" in out
+        assert "imbalance ratio" in out
+        assert "partitions, makespan" in out
+
+    def test_report_no_summary(self, trace_file, capsys):
+        assert main(["report", trace_file, "--no-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "skew report" in out
+        assert "trace report" not in out
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_report_events_only_trace(self, tmp_path, capsys):
+        # Metadata-only traces render the explicit empty report.
+        p = tmp_path / "meta.jsonl"
+        p.write_text('{"name": "process_name", "ph": "M", "pid": 0}\n')
+        assert main(["report", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "(no spans)" in out
+        assert "(no per-partition task spans in trace)" in out
+
+    def test_perf_run_then_identical_diff_passes(
+        self, points_file, tmp_path, capsys
+    ):
+        bench = tmp_path / "BENCH_t.json"
+        trace = tmp_path / "t.jsonl"
+        assert main(["perf", "run", points_file, "-o", str(bench),
+                     "--partitions", "2", "--repeat", "2",
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "bench written" in out
+        assert bench.exists() and trace.exists()
+        assert main(["perf", "diff", str(bench), str(bench)]) == 0
+        assert "result: PASS" in capsys.readouterr().out
+
+    def test_perf_diff_fails_on_synthetic_slowdown(
+        self, points_file, tmp_path, capsys
+    ):
+        import json
+
+        bench = tmp_path / "BENCH_t.json"
+        assert main(["perf", "run", points_file, "-o", str(bench),
+                     "--partitions", "2", "--repeat", "1"]) == 0
+        slow = json.loads(bench.read_text())
+        for k in slow["measures"]:
+            slow["measures"][k] = slow["measures"][k] * 3 + 1.0
+        slow_path = tmp_path / "BENCH_slow.json"
+        slow_path.write_text(json.dumps(slow))
+        capsys.readouterr()
+        assert main(["perf", "diff", str(bench), str(slow_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "result: FAIL" in out
+
+    def test_perf_diff_context_mismatch_is_2(
+        self, points_file, tmp_path, capsys
+    ):
+        import json
+
+        bench = tmp_path / "BENCH_t.json"
+        assert main(["perf", "run", points_file, "-o", str(bench),
+                     "--partitions", "2", "--repeat", "1"]) == 0
+        other = json.loads(bench.read_text())
+        other["context"]["partitions"] = 8
+        other_path = tmp_path / "BENCH_other.json"
+        other_path.write_text(json.dumps(other))
+        capsys.readouterr()
+        assert main(["perf", "diff", str(bench), str(other_path)]) == 2
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_perf_diff_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "x.json"
+        bad.write_text('{"name": "t"}')
+        assert main(["perf", "diff", str(bad), str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfileFlags:
+    @pytest.fixture
+    def points_file(self, tmp_path):
+        from repro.data import generate_clustered, save_points
+
+        g = generate_clustered(n=400, num_clusters=3, cluster_std=8.0, seed=5)
+        path = tmp_path / "p.txt"
+        save_points(str(path), g.points)
+        return str(path)
+
+    def test_cluster_profile_writes_task_metrics(
+        self, points_file, tmp_path, capsys
+    ):
+        from repro.obs import parse_exposition
+
+        prom = tmp_path / "m.prom"
+        assert main(["cluster", points_file, "--partitions", "2",
+                     "--profile", "--metrics-out", str(prom)]) == 0
+        samples = parse_exposition(prom.read_text())
+        assert "repro_task_cpu_seconds_count" in samples
+        assert "repro_task_peak_rss_bytes" in samples
+
+    def test_profile_rejected_for_sequential(self, points_file, capsys):
+        assert main(["cluster", points_file, "--algorithm", "sequential",
+                     "--profile"]) == 1
+        assert "profile" in capsys.readouterr().err
+
+    def test_cluster_master_processes(self, points_file, tmp_path, capsys):
+        import os
+
+        from repro.obs import load_trace
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["cluster", points_file, "--partitions", "2",
+                     "--master", "processes[2]",
+                     "--trace-out", str(trace)]) == 0
+        events = load_trace(str(trace))
+        worker_pids = {e["pid"] for e in events
+                       if e.get("cat") == "worker" and e.get("pid")}
+        assert worker_pids and os.getpid() not in worker_pids
+
+    def test_run_profile_flag(self, points_file, tmp_path, capsys):
+        from repro.obs import parse_exposition
+
+        prom = tmp_path / "m.prom"
+        assert main(["run", points_file, "--partitions", "2",
+                     "--profile-alloc", "--metrics-out", str(prom)]) == 0
+        samples = parse_exposition(prom.read_text())
+        assert "repro_task_alloc_peak_bytes" in samples
+
+
 class TestHistoryErrors:
     def test_missing_file_one_line_error(self, tmp_path, capsys):
         assert main(["history", str(tmp_path / "nope.jsonl")]) == 1
