@@ -423,7 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     li = sub.add_parser(
         "lint",
         help="static task-closure analysis (capture, determinism, "
-             "shuffle-free, picklability rules)",
+             "shuffle-free, picklability, lifecycle/resource-flow rules)",
     )
     li.add_argument("paths", nargs="*", default=["src"],
                     help="files or directories to scan (default: src)")
@@ -438,8 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--rules", action="store_true",
                     help="print the rule catalogue and exit")
     li.add_argument("--stats", action="store_true",
-                    help="print per-rule finding counts and call-graph "
-                         "size (nodes/edges/SCCs) after the report")
+                    help="print per-rule finding counts, call-graph size "
+                         "(nodes/edges/SCCs), and CFG size (functions/"
+                         "blocks/edges) after the report")
     li.set_defaults(func=cmd_lint)
 
     return parser

@@ -26,6 +26,7 @@ from .context import SparkContext
 from .errors import (
     ContextStoppedError,
     EngineError,
+    EventLogClosedError,
     InjectedFault,
     JobAbortedError,
     ShuffleFetchError,
@@ -82,6 +83,7 @@ __all__ = [
     "ShuffleFetchError",
     "InjectedFault",
     "ContextStoppedError",
+    "EventLogClosedError",
     "SanitizerError",
     "BroadcastMutationError",
     "AccumulatorReadError",

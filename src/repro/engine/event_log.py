@@ -12,18 +12,34 @@ import json
 import time
 from typing import Any, TextIO
 
+from .errors import EventLogClosedError
 from .metrics import JobMetrics
 
 
 class EventLog:
-    """Collects engine events; optionally streams them to a file."""
+    """Collects engine events; optionally streams them to a file.
+
+    Lifecycle: open on construction (with or without a backing file),
+    closed by `close` — which is idempotent — after which any write
+    (`emit`, `record_job`) raises `EventLogClosedError`.  Reads
+    (`events`, `job_events`, `of_kind`) stay valid after close so the
+    history server can render a finished run.
+    """
 
     def __init__(self, path: str | None = None):
         self.events: list[dict[str, Any]] = []
         self._fh: TextIO | None = open(path, "w") if path else None
+        self._closed = False
 
     def emit(self, kind: str, **fields: Any) -> None:
-        """Append an event (and stream it to the log file, if any)."""
+        """Append an event (and stream it to the log file, if any).
+
+        Raises `EventLogClosedError` after `close` — the static
+        analyzer flags the same pattern as LIF002."""
+        if self._closed:
+            raise EventLogClosedError(
+                f"EventLog is closed; cannot emit {kind!r}"
+            )
         event = {"event": kind, "time": time.time(), **fields}
         self.events.append(event)
         if self._fh is not None:
@@ -75,11 +91,12 @@ class EventLog:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self._closed = True
 
     @property
     def closed(self) -> bool:
-        """True once the backing file (if any) has been released."""
-        return self._fh is None
+        """True once `close` has run (memory-only logs included)."""
+        return self._closed
 
     def __enter__(self) -> "EventLog":
         return self

@@ -7,7 +7,13 @@ paper pipeline must stay shuffle-free — *proven* from the
 interprocedural call graph and a static RDD-lineage pass rather than a
 path allowlist — task code must not read accumulators, mutate
 broadcasts, or invoke RDD actions, and every plan's stage contract
-chain must be complete and acyclic.  Violations are `Finding`s; a
+chain must be complete and acyclic.  A flow-sensitive layer
+(`repro.lint.cfg` → `repro.lint.dataflow` → `repro.lint.typestate`)
+builds a per-function CFG and runs typestate over it: no use of a
+stopped context (LIF001), no write to a closed event log (LIF002), no
+action on an unpersisted RDD/Broadcast (LIF003), no persisted RDD
+leaked past an exit path (RES001), and no lock/context held across an
+escaping exception path (RES002).  Violations are `Finding`s; a
 committed baseline (`lint-baseline.json`) grandfathers known ones, and
 CI fails on anything new (uploading SARIF so findings annotate diffs).
 
@@ -40,12 +46,20 @@ from .rules import (
     run_project_rules,
     run_rules,
 )
+from .cfg import CFG, Block, build_cfg
+from .dataflow import BlockStates, ForwardAnalysis, solve
 from .sarif import render_sarif, to_sarif
+from .typestate import TYPESTATE_RULES, check_typestate, flow_stats
 
 __all__ = [
     "DEFAULT_BASELINE",
     "BaselineError",
+    "Block",
+    "BlockStates",
+    "CFG",
     "Finding",
+    "ForwardAnalysis",
+    "TYPESTATE_RULES",
     "LintError",
     "LintReport",
     "ModuleAnalysis",
@@ -53,8 +67,11 @@ __all__ = [
     "Project",
     "RULES",
     "TaskFunction",
+    "build_cfg",
     "build_project",
+    "check_typestate",
     "discover_files",
+    "flow_stats",
     "lint_file",
     "load_baseline",
     "module_name_for",
@@ -64,6 +81,7 @@ __all__ = [
     "run_lint",
     "run_project_rules",
     "run_rules",
+    "solve",
     "to_sarif",
     "write_baseline",
 ]

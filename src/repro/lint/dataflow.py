@@ -1,0 +1,161 @@
+"""Generic forward dataflow fixpoint solver over `repro.lint.cfg` graphs.
+
+An analysis supplies a join-semilattice and a transfer function; the
+solver iterates a worklist until block in-states stabilise.  The split
+between normal and exceptional out-states mirrors the CFG's two edge
+kinds: the state carried along an exceptional edge is the join of the
+analysis's `exc_state` contributions of the block's may-raise
+instructions — typically the state *before* the raising instruction
+(the exception interrupts it), letting analyses model "the release
+happened" vs "the acquire never did" per instruction.
+
+Termination: the solver requires a finite-height lattice (joins must
+stop producing new values).  `MAX_ITERATIONS` is a hard backstop for
+buggy analyses; hitting it raises `FixpointDiverged` rather than
+silently under-approximating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generic, TypeVar
+
+from .cfg import CFG, Block, Instr, may_raise
+
+S = TypeVar("S")
+
+#: Hard ceiling on worklist pops — generous for any real function
+#: (a function with B blocks and lattice height H needs ~B*H pops).
+MAX_ITERATIONS = 100_000
+
+
+class FixpointDiverged(RuntimeError):
+    """The fixpoint iteration failed to stabilise (non-monotone transfer
+    or an infinite-height lattice)."""
+
+
+class ForwardAnalysis(Generic[S]):
+    """Interface a forward dataflow analysis implements."""
+
+    def initial_state(self) -> S:
+        """State at the function entry."""
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        """Identity of `join` (the state of an unreached block)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states (must be commutative,
+        associative, idempotent)."""
+        raise NotImplementedError
+
+    def transfer(self, state: S, instr: Instr) -> S:
+        """State after executing one instruction normally."""
+        raise NotImplementedError
+
+    def exc_state(self, state: S, instr: Instr) -> S:
+        """State carried along the exceptional edge when ``instr``
+        raises, given the state *before* it.  Default: that state."""
+        return state
+
+
+@dataclass
+class BlockStates(Generic[S]):
+    """Solver result: per-block fixpoint states.
+
+    ``in_states`` holds the join over incoming edges; ``out_states`` /
+    ``exc_states`` the corresponding outgoing states.  Unreachable
+    blocks are absent from all three maps.
+    """
+
+    cfg: CFG
+    in_states: dict[int, S] = field(default_factory=dict)
+    out_states: dict[int, S] = field(default_factory=dict)
+    exc_states: dict[int, S] = field(default_factory=dict)
+
+    def reached(self, bid: int) -> bool:
+        return bid in self.in_states
+
+
+def _flow_block(
+    analysis: ForwardAnalysis[S], block: Block, state: S
+) -> tuple[S, S]:
+    """(normal out-state, exceptional out-state) of one block."""
+    exc = analysis.bottom()
+    for instr in block.instrs:
+        if may_raise(instr):
+            exc = analysis.join(exc, analysis.exc_state(state, instr))
+        state = analysis.transfer(state, instr)
+    return state, exc
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis[S]) -> BlockStates[S]:
+    """Run the analysis to fixpoint; returns the stabilised states."""
+    states = BlockStates(cfg=cfg)
+    states.in_states[cfg.entry] = analysis.initial_state()
+    worklist: list[int] = [cfg.entry]
+    queued: set[int] = {cfg.entry}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > MAX_ITERATIONS:
+            raise FixpointDiverged(
+                f"dataflow fixpoint exceeded {MAX_ITERATIONS} iterations "
+                f"({len(cfg.blocks)} blocks)"
+            )
+        bid = worklist.pop()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        out, exc = _flow_block(analysis, block, states.in_states[bid])
+        states.out_states[bid] = out
+        states.exc_states[bid] = exc
+        for succ, carried in (
+            [(s, out) for s in block.succs] + [(s, exc) for s in block.exc_succs]
+        ):
+            old = states.in_states.get(succ)
+            new = carried if old is None else analysis.join(old, carried)
+            if old is None or new != old:
+                states.in_states[succ] = new
+                if succ not in queued:
+                    queued.add(succ)
+                    worklist.append(succ)
+    return states
+
+
+def exit_state(states: BlockStates[S], analysis: ForwardAnalysis[S]) -> S | None:
+    """In-state of the normal exit block, or None when unreachable."""
+    return states.in_states.get(states.cfg.exit)
+
+
+def raise_exit_state(
+    states: BlockStates[S], analysis: ForwardAnalysis[S]
+) -> S | None:
+    """In-state of the raise exit block, or None when no exception path
+    escapes the function."""
+    return states.in_states.get(states.cfg.raise_exit)
+
+
+class SetUnionAnalysis(ForwardAnalysis[frozenset]):
+    """Tiny concrete analysis for tests and as a pattern to copy: the
+    forward may-analysis whose state is a set under union (used e.g.
+    for "names assigned so far")."""
+
+    def initial_state(self) -> frozenset:
+        return frozenset()
+
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, state: frozenset, instr: Instr) -> frozenset:
+        import ast
+
+        if isinstance(instr, ast.Assign):
+            names = {
+                t.id for t in instr.targets if isinstance(t, ast.Name)
+            }
+            return state | frozenset(names)
+        return state

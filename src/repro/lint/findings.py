@@ -26,6 +26,10 @@ class Finding:
     col: int
     message: str       # human-readable, line-number free (baseline-stable)
     symbol: str = ""   # enclosing function/scope, "" for module level
+    # Secondary sites (acquire/stop/close/persist) as (path, line, message)
+    # triples; rendered as SARIF relatedLocations.  Deliberately excluded
+    # from the fingerprint: line numbers drift with unrelated edits.
+    related: tuple = ()
 
     @property
     def fingerprint(self) -> str:
@@ -50,6 +54,10 @@ class Finding:
             "message": self.message,
             "symbol": self.symbol,
             "fingerprint": self.fingerprint,
+            "related": [
+                {"path": p, "line": line, "message": msg}
+                for (p, line, msg) in self.related
+            ],
         }
 
 
@@ -103,6 +111,13 @@ class LintReport:
             f"edges, {g.get('sccs', 0)} SCCs over "
             f"{self.stats.get('modules', 0)} module(s)"
         )
+        c = self.stats.get("cfg")
+        if c:
+            lines.append(
+                f"control flow: {c.get('functions', 0)} function CFG(s), "
+                f"{c.get('blocks', 0)} blocks, {c.get('edges', 0)} edges "
+                f"(+{c.get('exc_edges', 0)} exceptional)"
+            )
         return "\n".join(lines)
 
     def render_json(self) -> str:

@@ -33,6 +33,12 @@ set, so they fire through helper modules too:
   task-reachable code.
 - ``PLN001``/``PLN002`` plan contracts (`repro.lint.plans`) — every
   manifest plan's Stage needs/provides chain is complete and acyclic.
+- ``LIF001``/``LIF002``/``LIF003`` lifecycle ordering and
+  ``RES001``/``RES002`` resource leaks (`repro.lint.typestate`) —
+  flow-sensitive typestate over per-function CFGs: use-after-stop
+  (SparkContext), write-after-close (EventLog), action-after-unpersist
+  (RDD/Broadcast), persist with no unpersist on an exit path, and
+  lock/context held across an escaping exception path.
 
 Rules only fire on *positively identified* hazards — an unknown type
 never triggers a finding.
@@ -51,6 +57,7 @@ from .lineage import (
     check_shuffle_free,
 )
 from .plans import check_plan_contracts
+from .typestate import check_typestate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .callgraph import Project
@@ -294,6 +301,31 @@ project_rule(
     "PLN002",
     "plan stage contract chain is circular",
     lambda project: check_plan_contracts(project, rules=("PLN002",)),
+)
+project_rule(
+    "LIF001",
+    "SparkContext used after stop() on every path",
+    lambda project: check_typestate(project, rules=("LIF001",)),
+)
+project_rule(
+    "LIF002",
+    "EventLog written after close() on every path",
+    lambda project: check_typestate(project, rules=("LIF002",)),
+)
+project_rule(
+    "LIF003",
+    "RDD action / Broadcast.value after unpersist() on every path",
+    lambda project: check_typestate(project, rules=("LIF003",)),
+)
+project_rule(
+    "RES001",
+    "RDD persisted/cached with no unpersist() on some exit path",
+    lambda project: check_typestate(project, rules=("RES001",)),
+)
+project_rule(
+    "RES002",
+    "lock or context acquired but not released on an exception path",
+    lambda project: check_typestate(project, rules=("RES002",)),
 )
 
 

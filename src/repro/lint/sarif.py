@@ -10,7 +10,9 @@ can annotate PR diffs:
   regions (lint columns are 0-based AST offsets);
 - the linter's own line-free fingerprint rides along as a
   ``partialFingerprints`` entry, and ``baselineState`` distinguishes
-  findings that are new versus grandfathered by ``lint-baseline.json``.
+  findings that are new versus grandfathered by ``lint-baseline.json``;
+- flow findings (LIF*/RES*) carry ``relatedLocations`` pointing back at
+  the acquire/stop/close/persist site the message refers to.
 """
 
 from __future__ import annotations
@@ -30,6 +32,16 @@ TOOL_NAME = "repro-lint"
 
 def _result(finding: Finding, rule_index: dict[str, int], is_new: bool) -> dict:
     uri = finding.path.replace("\\", "/").lstrip("./")
+    related = [
+        {
+            "physicalLocation": {
+                "artifactLocation": {"uri": rpath.replace("\\", "/").lstrip("./")},
+                "region": {"startLine": max(rline, 1)},
+            },
+            "message": {"text": rmessage},
+        }
+        for (rpath, rline, rmessage) in finding.related
+    ]
     return {
         "ruleId": finding.rule,
         "ruleIndex": rule_index[finding.rule],
@@ -51,6 +63,7 @@ def _result(finding: Finding, rule_index: dict[str, int], is_new: bool) -> dict:
                 ),
             }
         ],
+        **({"relatedLocations": related} if related else {}),
         "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
         "baselineState": "new" if is_new else "unchanged",
     }

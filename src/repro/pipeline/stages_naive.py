@@ -53,59 +53,69 @@ class ShuffleExpand(Stage):
         info = sc.parallelize(range(n), cfg.num_partitions).map_partitions(
             neighbourhoods
         )
+        # Both cached RDDs are unpersisted on every exit path (RES001):
+        # the context outlives this stage, so leaked cache entries would
+        # stay resident in the block manager for the whole run.
         info.cache()
-        core_flags = dict(info.map(lambda rec: (rec[0], rec[2])).collect())
-        core_b = sc.broadcast(core_flags)
+        try:
+            core_flags = dict(info.map(lambda rec: (rec[0], rec[2])).collect())
+            core_b = sc.broadcast(core_flags)
 
-        # Core-graph edges, both directions between core points.
-        def core_edges(rec):
-            i, neigh, is_core = rec
-            if not is_core:
-                return []
-            flags = core_b.value
-            return [(j, i) for j in neigh if flags[j]]
+            # Core-graph edges, both directions between core points.
+            def core_edges(rec):
+                i, neigh, is_core = rec
+                if not is_core:
+                    return []
+                flags = core_b.value
+                return [(j, i) for j in neigh if flags[j]]
 
-        edges = info.flat_map(core_edges)
-        edges.cache()
+            edges = info.flat_map(core_edges)
+            edges.cache()
+            try:
+                # labels: every core point starts in its own cluster.
+                labels = {i: i for i in range(n) if core_flags[i]}
 
-        # labels: every core point starts in its own cluster.
-        labels = {i: i for i in range(n) if core_flags[i]}
+                # Iterative min-label propagation; each round shuffles.
+                for _ in range(cfg.max_rounds):
+                    rounds += 1
+                    with tracer.span(
+                        "naive.propagation_round", round=rounds
+                    ) as round_sp:
+                        lab_b = sc.broadcast(labels)
+                        new_pairs = (
+                            edges.map(lambda e: (e[1], lab_b.value[e[0]]))
+                            .reduce_by_key(min, cfg.num_partitions)
+                            .collect()
+                        )
+                        changed = 0
+                        for i, incoming in new_pairs:
+                            if incoming < labels[i]:
+                                labels[i] = incoming
+                                changed += 1
+                        round_sp.annotate(changed=changed)
+                    if changed == 0:
+                        break
+            finally:
+                edges.unpersist()
 
-        # Iterative min-label propagation; each round shuffles.
-        for _ in range(cfg.max_rounds):
-            rounds += 1
-            with tracer.span("naive.propagation_round", round=rounds) as round_sp:
-                lab_b = sc.broadcast(labels)
-                new_pairs = (
-                    edges.map(lambda e: (e[1], lab_b.value[e[0]]))
-                    .reduce_by_key(min, cfg.num_partitions)
-                    .collect()
-                )
-                changed = 0
-                for i, incoming in new_pairs:
-                    if incoming < labels[i]:
-                        labels[i] = incoming
-                        changed += 1
-                round_sp.annotate(changed=changed)
-            if changed == 0:
-                break
+            # Border assignment: non-core point takes the min label among
+            # adjacent core points (one more shuffled pass).
+            lab_b = sc.broadcast(labels)
 
-        # Border assignment: non-core point takes the min label among
-        # adjacent core points (one more shuffled pass).
-        lab_b = sc.broadcast(labels)
+            def border_claims(rec):
+                i, neigh, is_core = rec
+                if is_core:
+                    return []
+                cores = [lab_b.value[j] for j in neigh if j in lab_b.value]
+                return [(i, min(cores))] if cores else []
 
-        def border_claims(rec):
-            i, neigh, is_core = rec
-            if is_core:
-                return []
-            cores = [lab_b.value[j] for j in neigh if j in lab_b.value]
-            return [(i, min(cores))] if cores else []
-
-        border = dict(
-            info.flat_map(border_claims)
-            .reduce_by_key(min, cfg.num_partitions)
-            .collect()
-        )
+            border = dict(
+                info.flat_map(border_claims)
+                .reduce_by_key(min, cfg.num_partitions)
+                .collect()
+            )
+        finally:
+            info.unpersist()
         rounds += 1
         shuffle_bytes = sum(
             tm.shuffle_bytes_written

@@ -92,10 +92,36 @@ class TestEventLogLifecycle:
         assert log.closed
         assert load_event_log(path)[0]["event"] == "app_start"
 
-    def test_memory_only_log_reports_closed(self):
+    def test_memory_only_log_open_until_closed(self):
         from repro.engine.event_log import EventLog
 
-        assert EventLog().closed  # no backing file to hold open
+        log = EventLog()  # no backing file, but still an open log
+        assert not log.closed
+        log.emit("app_start", app_name="x", master="m")
+        log.close()
+        assert log.closed
+
+    def test_emit_after_close_raises(self, tmp_path):
+        from repro.engine.errors import EventLogClosedError
+        from repro.engine.event_log import EventLog
+
+        log = EventLog(str(tmp_path / "log.jsonl"))
+        log.emit("app_start", app_name="x", master="m")
+        log.close()
+        with pytest.raises(EventLogClosedError):
+            log.emit("app_end")
+        # reads survive close: the history server renders finished runs
+        assert log.of_kind("app_start")
+
+    def test_record_job_after_close_raises(self):
+        from repro.engine.errors import EventLogClosedError
+        from repro.engine.event_log import EventLog
+        from repro.engine.metrics import JobMetrics
+
+        log = EventLog()
+        log.close()
+        with pytest.raises(EventLogClosedError):
+            log.record_job(JobMetrics(job_id=0))
 
     def test_spark_context_stop_closes_log(self, tmp_path):
         path = str(tmp_path / "log.jsonl")

@@ -133,7 +133,8 @@ class TestCli:
         assert main(["lint", "--rules"]) == 0
         out = capsys.readouterr().out
         for rid in ("CAP001", "PCK001", "DET001", "SHF001",
-                    "ACC001", "BRD001", "ACT001", "PLN001", "PLN002"):
+                    "ACC001", "BRD001", "ACT001", "PLN001", "PLN002",
+                    "LIF001", "LIF002", "LIF003", "RES001", "RES002"):
             assert rid in out
 
     def test_stats_flag(self, tmp_path, capsys):
@@ -152,6 +153,37 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["stats"]["rules"] == {"DET001": 1}
         assert payload["stats"]["graph"]["nodes"] >= 2
+        cfg = payload["stats"]["cfg"]
+        assert cfg["functions"] >= 1
+        assert cfg["blocks"] >= 3      # entry + exit + raise exit
+        assert set(cfg) == {"functions", "blocks", "edges", "exc_edges"}
+
+    def test_stats_text_reports_cfg_counts(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text(VIOLATION)
+        assert main(["lint", str(mod), "--stats"]) == 1
+        err = capsys.readouterr().err
+        assert "control flow:" in err
+        assert "blocks" in err and "exceptional" in err
+
+    def test_new_flow_finding_exits_one(self, tmp_path, capsys):
+        # Exit-code contract for the flow rules: a fresh LIF001 with no
+        # baseline is a new finding, so the CLI exits 1; grandfathering
+        # it in a baseline returns the exit code to 0.
+        mod = tmp_path / "flow.py"
+        mod.write_text(
+            "def f():\n"
+            "    sc = SparkContext()\n"
+            "    sc.stop()\n"
+            "    sc.parallelize([1])\n"
+        )
+        assert main(["lint", str(mod)]) == 1
+        capsys.readouterr()
+        base = str(tmp_path / "base.json")
+        assert main(["lint", str(mod), "--baseline", base,
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(mod), "--baseline", base]) == 0
 
     def test_repo_gate(self, capsys):
         """The committed CI gate: src/ against the committed baseline."""

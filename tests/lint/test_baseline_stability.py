@@ -15,6 +15,26 @@ VIOLATION = textwrap.dedent(
     """
 )
 
+# One flow-sensitive (LIF001) and one leak (RES002) finding: their
+# fingerprints must be just as line- and directory-free as the scope
+# rules', even though the *related* site (stop/acquire line) moves.
+FLOW_VIOLATION = textwrap.dedent(
+    """
+    import threading
+
+    def use_after_stop():
+        sc = SparkContext()
+        sc.stop()
+        sc.parallelize([1])
+
+    def leaky_lock(work):
+        mu = threading.Lock()
+        mu.acquire()
+        work()
+        mu.release()
+    """
+)
+
 
 def _lint(path):
     report = run_lint([str(path)])
@@ -78,3 +98,59 @@ class TestDirectoryRenames:
         renamed.write_text(VIOLATION)
         counts = load_baseline(base)
         assert new_findings(_lint(renamed), counts)
+
+
+class TestFlowFindingStability:
+    """Same stability guarantees for the flow-sensitive rules (PR 8)."""
+
+    def _flow_lint(self, path):
+        findings = [
+            f for f in run_lint([str(path)]).findings
+            if f.rule in ("LIF001", "RES002")
+        ]
+        assert {f.rule for f in findings} == {"LIF001", "RES002"}
+        return sorted(findings, key=lambda f: f.rule)
+
+    def test_padding_above_keeps_flow_fingerprints(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(FLOW_VIOLATION)
+        before = self._flow_lint(mod)
+        mod.write_text("# comment\n" * 40 + FLOW_VIOLATION)
+        after = self._flow_lint(mod)
+        assert [f.line for f in before] != [f.line for f in after]
+        # related sites moved too — they must not feed the fingerprint
+        assert [f.related[0][1] for f in before] != \
+            [f.related[0][1] for f in after]
+        assert [f.fingerprint for f in before] == \
+            [f.fingerprint for f in after]
+
+    def test_moved_flow_finding_stays_baselined(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(FLOW_VIOLATION)
+        base = str(tmp_path / "base.json")
+        write_baseline(base, run_lint([str(mod)]).findings)
+        mod.write_text("\n" * 25 + FLOW_VIOLATION)
+        report = run_lint([str(mod)], baseline_path=base)
+        assert report.clean, report.render_text()
+
+    def test_directory_rename_keeps_flow_fingerprints(self, tmp_path):
+        old = tmp_path / "engine" / "mod.py"
+        old.parent.mkdir()
+        old.write_text(FLOW_VIOLATION)
+        new = tmp_path / "core" / "mod.py"
+        new.parent.mkdir()
+        new.write_text(FLOW_VIOLATION)
+        assert [f.fingerprint for f in self._flow_lint(old)] == \
+            [f.fingerprint for f in self._flow_lint(new)]
+
+    def test_renamed_directory_stays_baselined_for_flow_rules(self, tmp_path):
+        old = tmp_path / "pipelines" / "mod.py"
+        old.parent.mkdir()
+        old.write_text(FLOW_VIOLATION)
+        base = str(tmp_path / "base.json")
+        write_baseline(base, run_lint([str(old)]).findings)
+        new = tmp_path / "plans" / "mod.py"
+        new.parent.mkdir()
+        new.write_text(FLOW_VIOLATION)
+        report = run_lint([str(new)], baseline_path=base)
+        assert report.clean, report.render_text()

@@ -1,0 +1,332 @@
+"""Structural tests for the per-function CFG builder (`repro.lint.cfg`)."""
+
+import ast
+
+import pytest
+
+from repro.lint.cfg import (
+    ExceptBind,
+    ForBind,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    may_raise,
+)
+
+
+def cfg_of(source: str):
+    """Build the CFG of the first function in ``source``."""
+    tree = ast.parse(source)
+    func = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+def reachable(cfg, *, exceptional=True):
+    """Block ids reachable from the entry."""
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        bid = stack.pop()
+        block = cfg.blocks[bid]
+        succs = set(block.succs)
+        if exceptional:
+            succs |= set(block.exc_succs)
+        for s in succs:
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return seen
+
+
+def instr_types(cfg):
+    return [
+        type(i).__name__
+        for bid in sorted(cfg.blocks)
+        for i in cfg.blocks[bid].instrs
+    ]
+
+
+class TestStraightLine:
+    def test_single_block_body(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        entry = cfg.blocks[cfg.entry]
+        assert [type(i).__name__ for i in entry.instrs] == ["Assign", "Assign"]
+        assert entry.succs == {cfg.exit}
+
+    def test_exit_blocks_are_empty_and_distinct(self):
+        cfg = cfg_of("def f():\n    pass\n")
+        assert cfg.exit != cfg.raise_exit
+        assert not cfg.blocks[cfg.exit].instrs
+        assert not cfg.blocks[cfg.raise_exit].instrs
+
+    def test_call_gets_exceptional_edge_to_raise_exit(self):
+        cfg = cfg_of("def f(g):\n    g()\n")
+        entry = cfg.blocks[cfg.entry]
+        assert cfg.raise_exit in entry.exc_succs
+
+    def test_pure_body_has_no_exceptional_edges(self):
+        cfg = cfg_of("def f(x):\n    a = x\n")
+        assert cfg.num_exc_edges == 0
+
+
+class TestBranches:
+    def test_if_forks_and_rejoins(self):
+        cfg = cfg_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    b = a\n"
+        )
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.succs) == 2
+        joins = [
+            s for s in entry.succs
+            if cfg.blocks[s].succs == cfg.blocks[next(iter(entry.succs))].succs
+        ]
+        assert joins  # both arms flow into the same join block
+
+    def test_early_return_skips_join(self):
+        cfg = cfg_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        returns = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ast.Return)
+        ]
+        assert len(returns) == 2
+        for bid, block in cfg.blocks.items():
+            if any(isinstance(i, ast.Return) for i in block.instrs):
+                assert block.succs == {cfg.exit}
+
+
+class TestLoops:
+    def test_while_has_back_edge_and_exit_edge(self):
+        cfg = cfg_of("def f(c):\n    while c:\n        c = c - 1\n")
+        heads = [
+            bid for bid, b in cfg.blocks.items()
+            if len(b.succs) == 2 and any(bid in cfg.blocks[s].succs for s in b.succs)
+        ]
+        assert heads  # some block branches and is re-entered: the loop head
+
+    def test_while_true_omits_not_taken_edge(self):
+        cfg = cfg_of(
+            "def f(g):\n"
+            "    while True:\n"
+            "        g()\n"
+        )
+        # The only way to the normal exit would be the loop's not-taken
+        # edge; for a literal True it is omitted.
+        assert cfg.exit not in reachable(cfg, exceptional=False)
+
+    def test_break_reaches_loop_exit(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        break\n"
+            "    return 1\n"
+        )
+        assert cfg.exit in reachable(cfg, exceptional=False)
+
+    def test_for_emits_forbind(self):
+        cfg = cfg_of("def f(xs):\n    for x in xs:\n        pass\n")
+        assert "ForBind" in instr_types(cfg)
+
+    def test_continue_returns_to_head(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        continue\n"
+        )
+        assert cfg.exit in reachable(cfg, exceptional=False)
+
+
+class TestWith:
+    def test_with_emits_enter_and_exit_markers(self):
+        cfg = cfg_of("def f(cm):\n    with cm as h:\n        pass\n")
+        kinds = instr_types(cfg)
+        assert "WithEnter" in kinds
+        assert "WithExit" in kinds
+
+    def test_early_return_duplicates_with_exit(self):
+        cfg = cfg_of(
+            "def f(cm, c):\n"
+            "    with cm:\n"
+            "        if c:\n"
+            "            return 1\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        exits = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, WithExit)
+        ]
+        # one for the fall-through path, one duplicated on the early
+        # return's unwind path (at least)
+        assert len(exits) >= 2
+
+    def test_exception_path_runs_with_exit(self):
+        cfg = cfg_of(
+            "def f(cm, g):\n"
+            "    with cm:\n"
+            "        g()\n"
+        )
+        # Walk exceptional successors of the body: a WithExit must sit
+        # on the way to the raise exit.
+        on_exc_path = set()
+        for bid, block in cfg.blocks.items():
+            for s in block.exc_succs:
+                stack, seen = [s], set()
+                while stack:
+                    cur = stack.pop()
+                    if cur in seen:
+                        continue
+                    seen.add(cur)
+                    on_exc_path.update(
+                        type(i).__name__ for i in cfg.blocks[cur].instrs
+                    )
+                    stack.extend(cfg.blocks[cur].succs)
+        assert "WithExit" in on_exc_path
+
+
+class TestTry:
+    def test_handler_entry_binds_exception(self):
+        cfg = cfg_of(
+            "def f(g):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError as e:\n"
+            "        return e\n"
+        )
+        binds = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ExceptBind)
+        ]
+        assert binds and binds[0].name == "e"
+
+    def test_raise_in_body_reaches_handler(self):
+        cfg = cfg_of(
+            "def f(g):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        x = 1\n"
+        )
+        body_block = next(
+            bid for bid, b in cfg.blocks.items()
+            if any(
+                isinstance(i, ast.Expr) and isinstance(i.value, ast.Call)
+                for i in b.instrs
+            )
+        )
+        handler_block = next(
+            bid for bid, b in cfg.blocks.items()
+            if any(isinstance(i, ast.Assign) for i in b.instrs)
+        )
+        # the handler entry is an exceptional successor; the raise exit
+        # stays one too (conservative: the handler type may not match)
+        exc = cfg.blocks[body_block].exc_succs
+        assert cfg.raise_exit in exc
+        reachable_from_exc = set()
+        stack = list(exc)
+        while stack:
+            cur = stack.pop()
+            if cur in reachable_from_exc:
+                continue
+            reachable_from_exc.add(cur)
+            stack.extend(cfg.blocks[cur].succs)
+        assert handler_block in reachable_from_exc
+
+    def test_finally_duplicated_per_unwind_path(self):
+        cfg = cfg_of(
+            "def f(g):\n"
+            "    try:\n"
+            "        g()\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        release()\n"
+        )
+        finally_copies = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ast.Expr)
+            and isinstance(i.value, ast.Call)
+            and isinstance(i.value.func, ast.Name)
+            and i.value.func.id == "release"
+        ]
+        # one copy on the return path, one on the exceptional path —
+        # distinct blocks so must-analyses never merge the two flows
+        assert len(finally_copies) >= 2
+
+    def test_finally_on_path_to_raise_exit(self):
+        cfg = cfg_of(
+            "def f(g):\n"
+            "    try:\n"
+            "        g()\n"
+            "    finally:\n"
+            "        release()\n"
+        )
+        assert cfg.raise_exit in reachable(cfg)
+
+
+class TestRaise:
+    def test_uncaught_raise_goes_to_raise_exit(self):
+        cfg = cfg_of("def f():\n    raise ValueError('x')\n")
+        raising = next(
+            bid for bid, b in cfg.blocks.items()
+            if any(isinstance(i, ast.Raise) for i in b.instrs)
+        )
+        assert cfg.raise_exit in (
+            cfg.blocks[raising].succs | cfg.blocks[raising].exc_succs
+        )
+        assert cfg.exit not in reachable(cfg, exceptional=False)
+
+
+class TestMayRaise:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("g()", True),
+            ("raise ValueError()", True),
+            ("assert x", True),
+            ("a = 1", False),
+            ("a = b + c", False),
+        ],
+    )
+    def test_statements(self, src, expected):
+        stmt = ast.parse(src).body[0]
+        assert may_raise(stmt) is expected
+
+    def test_synthetic_markers_do_not_raise(self):
+        assert not may_raise(ExceptBind(name="e", lineno=1))
+
+
+class TestCounts:
+    def test_edge_counts_are_consistent(self):
+        cfg = cfg_of(
+            "def f(xs, g):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            g(x)\n"
+            "        except ValueError:\n"
+            "            continue\n"
+            "    return 1\n"
+        )
+        assert cfg.num_edges == sum(len(b.succs) for b in cfg.blocks.values())
+        assert cfg.num_exc_edges == sum(
+            len(b.exc_succs) for b in cfg.blocks.values()
+        )
+        assert cfg.num_edges > 0
+        assert cfg.num_exc_edges > 0
+
+    def test_lambda_builds(self):
+        tree = ast.parse("f = lambda x: x + 1")
+        lam = next(n for n in ast.walk(tree) if isinstance(n, ast.Lambda))
+        cfg = build_cfg(lam)
+        assert cfg.exit in reachable(cfg, exceptional=False)

@@ -1,0 +1,186 @@
+"""Tests for the forward dataflow fixpoint solver (`repro.lint.dataflow`)."""
+
+import ast
+
+import pytest
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import (
+    FixpointDiverged,
+    ForwardAnalysis,
+    SetUnionAnalysis,
+    exit_state,
+    raise_exit_state,
+    solve,
+)
+
+
+def solve_source(source: str, analysis=None):
+    tree = ast.parse(source)
+    func = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    cfg = build_cfg(func)
+    analysis = analysis or SetUnionAnalysis()
+    return cfg, analysis, solve(cfg, analysis)
+
+
+class TestSetUnion:
+    def test_straight_line_accumulates(self):
+        cfg, an, st = solve_source("def f():\n    a = 1\n    b = 2\n")
+        assert exit_state(st, an) == frozenset({"a", "b"})
+
+    def test_branches_join_by_union(self):
+        cfg, an, st = solve_source(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+        )
+        assert exit_state(st, an) == frozenset({"a", "b"})
+
+    def test_loop_reaches_fixpoint(self):
+        cfg, an, st = solve_source(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        a = 1\n"
+            "    b = 2\n"
+        )
+        assert exit_state(st, an) == frozenset({"a", "b"})
+
+    def test_unreachable_block_has_no_state(self):
+        cfg, an, st = solve_source(
+            "def f():\n"
+            "    return 1\n"
+            "    a = 2\n"
+        )
+        dead = [
+            bid for bid, b in cfg.blocks.items()
+            if any(isinstance(i, ast.Assign) for i in b.instrs)
+        ]
+        for bid in dead:
+            assert not st.reached(bid)
+        assert exit_state(st, an) == frozenset()
+
+    def test_raise_exit_unreached_for_pure_function(self):
+        cfg, an, st = solve_source("def f(x):\n    a = x\n")
+        assert raise_exit_state(st, an) is None
+
+
+class MustAssignAnalysis(ForwardAnalysis):
+    """Intersection-join must-analysis: names assigned on *every* path.
+    ``None`` is the unreached (top) state."""
+
+    def initial_state(self):
+        return frozenset()
+
+    def bottom(self):
+        return None
+
+    def join(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer(self, state, instr):
+        if state is None:
+            return None
+        if isinstance(instr, ast.Assign):
+            return state | {
+                t.id for t in instr.targets if isinstance(t, ast.Name)
+            }
+        return state
+
+
+class TestMustAnalysis:
+    def test_one_sided_assign_is_not_must(self):
+        cfg, an, st = solve_source(
+            "def f(c):\n"
+            "    a = 1\n"
+            "    if c:\n"
+            "        b = 2\n",
+            MustAssignAnalysis(),
+        )
+        assert exit_state(st, an) == frozenset({"a"})
+
+    def test_both_sides_is_must(self):
+        cfg, an, st = solve_source(
+            "def f(c):\n"
+            "    if c:\n"
+            "        b = 2\n"
+            "    else:\n"
+            "        b = 3\n",
+            MustAssignAnalysis(),
+        )
+        assert exit_state(st, an) == frozenset({"b"})
+
+
+class TestExceptionalStates:
+    def test_exc_state_is_pre_instruction(self):
+        # a = 1 happens before g(); b = 2 after — only 'a' can be live
+        # on the exceptional edge out of g().
+        cfg, an, st = solve_source(
+            "def f(g):\n"
+            "    a = 1\n"
+            "    g()\n"
+            "    b = 2\n"
+        )
+        assert raise_exit_state(st, an) == frozenset({"a"})
+
+    def test_handler_sees_pre_raise_state(self):
+        cfg, an, st = solve_source(
+            "def f(g):\n"
+            "    a = 1\n"
+            "    try:\n"
+            "        g()\n"
+            "        b = 2\n"
+            "    except ValueError:\n"
+            "        c = 3\n"
+        )
+        # 'b' flows to exit only via the no-raise path; 'c' only via the
+        # handler; 'a' via both.
+        out = exit_state(st, an)
+        assert "a" in out
+        assert {"b", "c"} & out == {"b", "c"}
+
+    def test_custom_exc_state_hook(self):
+        class DropOnRaise(SetUnionAnalysis):
+            def exc_state(self, state, instr):
+                return frozenset()   # pretend nothing survives a raise
+
+        cfg, an, st = solve_source(
+            "def f(g):\n    a = 1\n    g()\n", DropOnRaise()
+        )
+        assert raise_exit_state(st, an) == frozenset()
+
+
+class TestDivergenceGuard:
+    def test_non_monotone_transfer_raises(self):
+        class Flapping(ForwardAnalysis):
+            def __init__(self):
+                self.n = 0
+
+            def initial_state(self):
+                return 0
+
+            def bottom(self):
+                return 0
+
+            def join(self, a, b):
+                return max(a, b)
+
+            def transfer(self, state, instr):
+                self.n += 1
+                return self.n     # strictly increasing: never stabilises
+
+        with pytest.raises(FixpointDiverged):
+            solve_source(
+                "def f(xs):\n"
+                "    for x in xs:\n"
+                "        a = 1\n",
+                Flapping(),
+            )

@@ -26,6 +26,15 @@ VIOLATIONS = textwrap.dedent(
     """
 )
 
+FLOW_VIOLATION = textwrap.dedent(
+    """
+    def use_after_stop():
+        sc = SparkContext()
+        sc.stop()
+        sc.parallelize([1])
+    """
+)
+
 SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "sarif-schema-subset.json")
 
 
@@ -90,6 +99,39 @@ class TestStructure:
         log = to_sarif(run_lint([str(mod)]))
         assert log["runs"][0]["results"] == []
         assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestRelatedLocations:
+    def _flow_log(self, tmp_path):
+        mod = tmp_path / "flow.py"
+        mod.write_text(FLOW_VIOLATION)
+        report = run_lint([str(mod)])
+        finding = next(f for f in report.findings if f.rule == "LIF001")
+        assert finding.related, "flow finding must carry related sites"
+        return to_sarif(report), finding
+
+    def test_flow_finding_carries_related_locations(self, tmp_path):
+        log, finding = self._flow_log(tmp_path)
+        result = next(
+            r for r in log["runs"][0]["results"] if r["ruleId"] == "LIF001"
+        )
+        related = result["relatedLocations"]
+        assert len(related) == len(finding.related)
+        loc = related[0]["physicalLocation"]
+        assert loc["region"]["startLine"] == finding.related[0][1]
+        assert related[0]["message"]["text"] == finding.related[0][2]
+
+    def test_non_flow_results_omit_related_locations(self, sarif_log):
+        log, _report = sarif_log
+        for result in log["runs"][0]["results"]:
+            assert "relatedLocations" not in result
+
+    def test_flow_sarif_validates_with_related_locations(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        with open(SCHEMA_PATH, encoding="utf-8") as f:
+            schema = json.load(f)
+        log, _finding = self._flow_log(tmp_path)
+        jsonschema.validate(instance=log, schema=schema)
 
 
 class TestSchemaValidation:

@@ -1,0 +1,73 @@
+"""Stages must not leak engine resources past their own run.
+
+Regression tests for the RES001 findings the flow-sensitive lint
+self-scan surfaced in `pipeline/stages_naive.py` (PR 8): the naive
+plan's ``ShuffleExpand`` cached two RDDs (the neighbourhood info pass
+and the core-edge graph) and never unpersisted them, pinning their
+partitions in the block manager for the remaining life of the context.
+Both are asserted gone here with a *lent* context — the runner never
+stops a lent context, so leaked cache entries would survive and fail
+the count below (which they did before the fix).
+"""
+
+import numpy as np
+
+from repro.data import generate_clustered
+from repro.engine import SparkContext
+from repro.pipeline import PipelineRunner, RunConfig, build_plan
+
+
+def test_naive_plan_releases_cached_rdds():
+    points = generate_clustered(
+        n=120, num_clusters=3, cluster_std=6.0, seed=7
+    ).points
+    config = RunConfig(eps=20.0, minpts=4, algorithm="naive", num_partitions=2)
+    with SparkContext("simulated[2]") as sc:
+        state = PipelineRunner(build_plan(config), config).run(points, sc=sc)
+        assert state.labels is not None
+        assert sc.block_manager.num_memory_blocks == 0
+        assert sc.block_manager.num_disk_blocks == 0
+
+
+def test_naive_stage_releases_caches_even_when_a_round_fails():
+    # The unpersist sits in ``finally`` blocks, so even a mid-stage
+    # crash must leave the block manager clean.
+    from repro.obs import Tracer
+    from repro.pipeline.stages_naive import ShuffleExpand
+    from repro.pipeline.state import PipelineState
+
+    points = generate_clustered(
+        n=60, num_clusters=2, cluster_std=5.0, seed=3
+    ).points
+    config = RunConfig(eps=20.0, minpts=4, algorithm="naive", num_partitions=2)
+    with SparkContext("simulated[2]") as sc:
+        state = PipelineState(config=config, tracer=Tracer())
+        state.points = points
+        state.sc = sc
+        state.n = len(points)
+        from repro.kdtree import KDTree
+
+        state.tree = KDTree(np.asarray(points))
+        state.mark("tree", "n")
+
+        # sabotage broadcast after the caches are built: the propagation
+        # round raises, the finallys must still unpersist
+        real_broadcast = sc.broadcast
+        calls = {"n": 0}
+
+        def failing_broadcast(value):
+            calls["n"] += 1
+            if calls["n"] >= 3:      # tree_b and core_b succeed, lab_b fails
+                raise RuntimeError("injected broadcast failure")
+            return real_broadcast(value)
+
+        sc.broadcast = failing_broadcast
+        try:
+            try:
+                ShuffleExpand().run(state)
+            except RuntimeError:
+                pass
+            assert sc.block_manager.num_memory_blocks == 0
+            assert sc.block_manager.num_disk_blocks == 0
+        finally:
+            sc.broadcast = real_broadcast
