@@ -5,17 +5,34 @@ other, so the single pass converges; adversarial merge *chains*
 (cluster pieces linked A→B→C with one-directional seeds) expose the
 difference.  This bench measures both on a real dataset and on
 synthetic chains, plus the merge-time cost of each strategy.
+
+B3 sweeps the *wire format* instead (DESIGN.md §11): shipping whole
+partial clusters vs shipping edge digests, over 100k–1M-point datasets,
+comparing driver merge time and the bytes the driver collects.
 """
 
 from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.data import EPS, MINPTS, make_dataset
-from repro.dbscan import PartialCluster, SparkDBSCAN, merge_paper, merge_union_find
+from repro.dbscan import (
+    PartialCluster,
+    SparkDBSCAN,
+    SpatialSparkDBSCAN,
+    apply_gid_map,
+    digest_from_partials,
+    digest_payload_nbytes,
+    merge_edges,
+    merge_paper,
+    merge_union_find,
+    partials_payload_nbytes,
+)
 from repro.kdtree import KDTree
 
-from _harness import print_table, save_results
+from _harness import print_table, save_results, scaled_cores
 
 
 def _synthetic_chain(length: int) -> tuple[list[PartialCluster], int]:
@@ -91,6 +108,71 @@ def test_ablation_merge_on_real_data(benchmark):
         lambda: merge_union_find([_copy(c) for c in partials], g.n),
         rounds=3, iterations=1,
     )
+
+
+def test_ablation_merge_payload_sweep(benchmark):
+    """Ablation B3 — partials vs edge digests at 100k–1M points.
+
+    One spatially-partitioned clustering per dataset produces the
+    partial clusters; both merge paths then run over the same partials:
+    the partials path measures `merge_union_find` over whole member
+    lists, the edge path measures `merge_edges` over digests (with the
+    label re-application included in its time).  Bytes are the canonical
+    collect payloads the `repro_driver_collect_bytes` gauge reports.
+    """
+    rows, payload = [], []
+    last_digests = None
+    for dataset, paper_cores in (("c100k", 32), ("r1m", 64)):
+        g = make_dataset(dataset)
+        (_, cores), = scaled_cores(dataset, [paper_cores])
+        res = SpatialSparkDBSCAN(
+            EPS, MINPTS, num_partitions=cores, keep_partials=True,
+            neighbor_mode="batched",
+        ).fit(g.points)
+        partials = sorted(res.partials, key=lambda c: c.members[0])
+
+        t0 = time.perf_counter()
+        ref = merge_union_find(partials, g.n)
+        t_partials = time.perf_counter() - t0
+        bytes_partials = partials_payload_nbytes(partials)
+
+        digests = digest_from_partials(partials)
+        last_digests = digests
+        t0 = time.perf_counter()
+        plan = merge_edges(digests)
+        labels = apply_gid_map(partials, plan, g.n)
+        t_edges = time.perf_counter() - t0
+        bytes_edges = digest_payload_nbytes(digests)
+
+        # The wire format must never change the answer.
+        assert np.array_equal(labels, ref.labels)
+        assert plan.num_global_clusters == ref.num_global_clusters
+        # The point of the digest: the driver collects the boundary,
+        # not the dataset.
+        assert bytes_edges < bytes_partials
+
+        rows.append([
+            dataset, g.n, cores, len(partials), plan.num_edges,
+            bytes_partials, bytes_edges,
+            round(bytes_partials / bytes_edges, 2),
+            round(t_partials * 1e3, 2), round(t_edges * 1e3, 2),
+        ])
+        payload.append({
+            "dataset": dataset, "n": g.n, "cores": cores,
+            "partials": len(partials), "edges": plan.num_edges,
+            "partials_bytes": bytes_partials, "edge_bytes": bytes_edges,
+            "partials_merge_s": t_partials, "edge_merge_s": t_edges,
+        })
+    print_table(
+        "Ablation B3: collect payload + driver merge, partials vs edges",
+        ["dataset", "n", "cores", "partials", "edges",
+         "partials bytes", "edge bytes", "ratio",
+         "partials merge (ms)", "edge merge+apply (ms)"],
+        rows,
+    )
+    save_results("ablation_merge_payload", payload)
+    benchmark.pedantic(lambda: merge_edges(last_digests), rounds=3,
+                       iterations=1)
 
 
 def _copy(c: PartialCluster) -> PartialCluster:

@@ -15,7 +15,7 @@ import sys
 
 import numpy as np
 
-from repro.dbscan.merge import MERGE_STRATEGIES
+from repro.dbscan.merge import MERGE_MODES, MERGE_STRATEGIES
 from repro.dbscan.partial import NEIGHBOR_MODES, SEED_POLICIES
 
 ALGORITHMS = ("spark", "sequential", "naive", "mapreduce", "spatial")
@@ -74,6 +74,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     profile = args.profile or args.profile_alloc
+    if args.merge_mode != "partials" and args.algorithm not in ("spark", "spatial"):
+        print(f"error: --merge-mode edges requires a SEED pipeline "
+              f"(spark, spatial), not {args.algorithm!r}", file=sys.stderr)
+        return 1
 
     if args.algorithm == "sequential":
         from repro.dbscan import dbscan_sequential
@@ -88,6 +92,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                              num_partitions=args.partitions,
                              master=args.master,
                              neighbor_mode=args.neighbor_mode,
+                             merge_mode=args.merge_mode,
                              tracer=tracer,
                              metrics_registry=registry,
                              sanitize=args.sanitize,
@@ -100,6 +105,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                                     num_partitions=args.partitions,
                                     master=args.master,
                                     neighbor_mode=args.neighbor_mode,
+                                    merge_mode=args.merge_mode,
                                     tracer=tracer,
                                     metrics_registry=registry,
                                     sanitize=args.sanitize,
@@ -172,6 +178,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             leaf_size=args.leaf_size,
             neighbor_mode=args.neighbor_mode,
             partitioning=args.partitioning,
+            merge_mode=args.merge_mode,
             impl=args.impl,
             max_rounds=args.max_rounds,
             sanitize=args.sanitize,
@@ -283,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--master", default=None, metavar="URL",
                    help="engine master (simulated[k], threads[k], processes[k]); "
                         "default simulated[partitions]")
+    c.add_argument("--merge-mode", choices=MERGE_MODES, default="partials",
+                   help="how partials reach the driver: whole point lists "
+                        "(partials) or compact digests with a distributed "
+                        "relabel pass (edges); labels are identical")
     c.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES, default="per_point",
                    help="executor neighbourhood kernel (batched = vectorised fast path; "
                         "only spark/spatial/sequential honour it)")
@@ -332,6 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--partitioning", choices=("range", "cells"), default="range",
                    help="spark-only: 'cells' swaps in the cell plan "
                         "(partition-local indexes, eps-halo, no broadcast)")
+    r.add_argument("--merge-mode", choices=MERGE_MODES, default="partials",
+                   help="spark/spatial: 'edges' swaps in the edge-based "
+                        "merge tail (digests + distributed relabel)")
     r.add_argument("--impl", choices=("array", "hashtable"), default="array",
                    help="sequential-only point-state implementation")
     r.add_argument("--max-rounds", type=int, default=100,
@@ -407,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
                     default="range")
     pr.add_argument("--neighbor-mode", choices=NEIGHBOR_MODES,
                     default="batched")
+    pr.add_argument("--merge-mode", choices=MERGE_MODES, default="partials")
     pr.add_argument("--repeat", type=int, default=3,
                     help="repetitions; time measures take the min (default 3)")
     pr.add_argument("--trace-out", default=None, metavar="FILE",
@@ -535,8 +550,13 @@ def cmd_perf_run(args: argparse.Namespace) -> int:
         "master": args.master or f"simulated[{args.partitions}]",
         "scale": os.environ.get("REPRO_SCALE", "default"),
     }
+    if args.merge_mode != "partials":
+        # Only recorded when non-default so pre-existing baselines keep
+        # their context (a context mismatch hard-fails perf diff).
+        context["merge_mode"] = args.merge_mode
     print(f"perf run {name!r}: {points.shape[0]} points x{args.repeat} "
-          f"on {context['master']} ({args.partitioning} partitioning)")
+          f"on {context['master']} ({args.partitioning} partitioning, "
+          f"{args.merge_mode} merge)")
 
     benches = []
     tracer = None
@@ -548,6 +568,7 @@ def cmd_perf_run(args: argparse.Namespace) -> int:
                     master=args.master,
                     neighbor_mode=args.neighbor_mode,
                     partitioning=args.partitioning,
+                    merge_mode=args.merge_mode,
                     tracer=tracer,
                     metrics_registry=registry,
                     profile=True).fit(points)

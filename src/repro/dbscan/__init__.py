@@ -3,9 +3,13 @@ shuffle-based naive parallel baseline, and the MapReduce baseline."""
 
 from .core import NOISE, UNCLASSIFIED, ClusteringResult, Timings
 from .merge import (
+    MERGE_MODES,
     MERGE_STRATEGIES,
+    EdgeMergePlan,
     MergeOutcome,
     UnionFind,
+    apply_gid_map,
+    merge_edges,
     merge_paper,
     merge_partials,
     merge_union_find,
@@ -19,7 +23,19 @@ from .cells import (
 )
 from .params import k_distances, suggest_eps
 from .predict import DBSCANPredictor
-from .partial import NEIGHBOR_MODES, SEED_POLICIES, PartialCluster, local_dbscan
+from .partial import (
+    NEIGHBOR_MODES,
+    SEED_POLICIES,
+    LocalExpansion,
+    PartialCluster,
+    PartialSummary,
+    PartitionDigest,
+    digest_from_partials,
+    digest_payload_nbytes,
+    local_dbscan,
+    partials_payload_nbytes,
+    partition_digest,
+)
 from .incremental import GridIndex, IncrementalDBSCAN
 from .mapreduce_job import MapReduceDBSCAN, MRDBSCANResult
 from .naive_spark import NaiveSparkDBSCAN, NaiveSparkResult
@@ -62,12 +78,23 @@ __all__ = [
     "local_dbscan",
     "SEED_POLICIES",
     "NEIGHBOR_MODES",
+    "MERGE_MODES",
     "MERGE_STRATEGIES",
     "MergeOutcome",
+    "EdgeMergePlan",
     "UnionFind",
     "merge_partials",
     "merge_union_find",
     "merge_paper",
+    "merge_edges",
+    "apply_gid_map",
+    "LocalExpansion",
+    "PartialSummary",
+    "PartitionDigest",
+    "partition_digest",
+    "digest_from_partials",
+    "partials_payload_nbytes",
+    "digest_payload_nbytes",
     "clusterings_equivalent",
     "rand_index",
     "adjusted_rand_index",

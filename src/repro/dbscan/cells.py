@@ -293,6 +293,7 @@ def cell_local_dbscan(
     max_neighbors: int | None = None,
     neighbor_mode: str = "batched",
     counters: OpCounters | None = None,
+    boundary_out: set[int] | None = None,
 ) -> list[PartialCluster]:
     """SEED expansion over one cell partition's (owned + halo) points.
 
@@ -304,6 +305,12 @@ def cell_local_dbscan(
     exactly.  ``lo``/``hi`` on the emitted partials are 0: cell
     partitions are not contiguous ranges (`PartialCluster.owns` is a
     range check and does not apply).
+
+    ``boundary_out``, when given, collects *global* ids of queried owned
+    points with ≥1 halo neighbour within eps — the export candidates of
+    the edge-based merge (DESIGN.md §11).  The eps-halo over-approximates
+    slightly (HALO_SLACK), which only widens this set; the seed/export
+    join never probes the extras.
     """
     if seed_policy not in SEED_POLICIES:
         raise ValueError(
@@ -334,14 +341,30 @@ def cell_local_dbscan(
             )
         if counters is not None:
             counters.range_queries += n_own
+        if boundary_out is not None:
+            # A row is boundary iff any neighbour is a halo point (local
+            # id >= n_own); cumsum-of-flags handles empty rows.
+            halo_flag = indices >= n_own
+            cs = np.concatenate(([0], np.cumsum(halo_flag)))
+            rows = np.flatnonzero(cs[indptr[1:]] > cs[indptr[:-1]])
+            boundary_out.update(np.asarray(payload.owned_ids)[rows].tolist())
 
         def neigh_of(k: int) -> np.ndarray:
             return indices[indptr[k]:indptr[k + 1]]
     else:
+        owned_ids_arr = np.asarray(payload.owned_ids)
+
         def neigh_of(k: int) -> np.ndarray:
             if counters is not None:
                 counters.range_queries += 1
-            return tree.query_radius(local_points[k], eps, max_neighbors)
+            row = tree.query_radius(local_points[k], eps, max_neighbors)
+            if (
+                boundary_out is not None
+                and row.size
+                and bool((row >= n_own).any())
+            ):
+                boundary_out.add(int(owned_ids_arr[k]))
+            return row
 
     return _expand_cells(payload, neigh_of, n_own, minpts, seed_policy, counters)
 

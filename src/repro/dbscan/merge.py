@@ -23,9 +23,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .core import NOISE
-from .partial import PartialCluster
+from .partial import PartialCluster, PartitionDigest
 
 MERGE_STRATEGIES = ("union_find", "paper")
+
+#: How partial clusters reach the driver (DESIGN.md §11):
+#:
+#: - ``"partials"``: executors ship whole member/seed point lists;
+#:   `merge_partials` works over them — O(points) collect + merge.
+#: - ``"edges"``: executors ship `PartitionDigest`s (summaries, seed
+#:   half-edges, boundary exports); `merge_edges` runs the same
+#:   union-find over cluster keys — O(edges + partials) — and labels are
+#:   applied by a second distributed pass (`apply_gid_map` per task).
+MERGE_MODES = ("partials", "edges")
 
 
 class UnionFind:
@@ -118,9 +128,15 @@ def merge_union_find(partials: list[PartialCluster], n: int) -> MergeOutcome:
     # Seeds that are regular members elsewhere already got their label.
     # Unowned seeds are cross-partition *border* points: claimed by the
     # first cluster that reached them (standard DBSCAN tie-breaking).
-    for ci, c in enumerate(partials):
+    # "First" is pinned to ascending founder order, not list order —
+    # accumulator arrival order varies across backends and the tie-break
+    # must not vary with it.
+    for ci in sorted(
+        range(len(partials)),
+        key=lambda i: partials[i].members[0] if partials[i].members else i,
+    ):
         gid = root_to_gid[uf.find(ci)]
-        for s in c.seeds:
+        for s in partials[ci].seeds:
             if s not in owner and labels[s] == NOISE:
                 labels[s] = gid
     return MergeOutcome(
@@ -247,3 +263,132 @@ def merge_partials(
         # back to indices into the caller's original list.
         outcome.groups = [[original[ci] for ci in g] for g in outcome.groups]
     return outcome
+
+
+@dataclass
+class EdgeMergePlan:
+    """Driver-side merge decisions computed from digests alone.
+
+    ``gid_of`` maps each kept partial cluster's ``(partition, local_id)``
+    key to its global cluster id; the second distributed pass applies it
+    to the executor-resident member lists.  ``claims`` resolves the only
+    points the driver must label itself: cross-partition border seeds
+    owned by nobody — a dict of O(boundary) size, not O(points).
+
+    ``groups`` indexes partial clusters in canonical (founder-sorted)
+    order, matching what `merge_partials` produces over the
+    founder-sorted collected list.
+    """
+
+    gid_of: dict[tuple[int, int], int]
+    claims: dict[int, int]
+    num_partials: int
+    num_seeds: int
+    num_edges: int
+    num_merges: int
+    num_global_clusters: int
+    groups: list[list[int]] = field(default_factory=list)
+
+
+def merge_edges(
+    digests: list[PartitionDigest],
+    min_cluster_size: int = 0,
+) -> EdgeMergePlan:
+    """Union-find over cluster keys: O(edges + partials), no point lists.
+
+    Joins each kept cluster's seeds against the export table (point →
+    owning cluster, core?).  A hit on a *core* export is exactly an
+    owner-map edge of `merge_union_find`; border hits are skipped for
+    the same reason `_links_clusters` skips them.  Gid numbering, the
+    ``min_cluster_size`` filter, and the border-seed claim tie-break all
+    replay the partial-mode semantics over founder-sorted order, so the
+    resulting labels are byte-identical.
+    """
+    flat: list[tuple] = []  # (summary, seed list), canonical order
+    for d in digests:
+        for summ, seed_list in zip(d.summaries, d.seeds):
+            flat.append((summ, seed_list))
+    flat.sort(key=lambda e: e[0].founder)
+    index_of = {summ.cid: i for i, (summ, _) in enumerate(flat)}
+    if min_cluster_size > 0:
+        kept = [i for i, (summ, _) in enumerate(flat)
+                if summ.size >= min_cluster_size]
+    else:
+        kept = list(range(len(flat)))
+    kept_set = set(kept)
+
+    # Export table over kept clusters only: point -> (canonical cluster
+    # index, is_core).  Ownership is unique, so no collisions.
+    exports: dict[int, tuple[int, bool]] = {}
+    for d in digests:
+        for point, local_id, is_core in d.exports:
+            oi = index_of[(d.partition, local_id)]
+            if oi in kept_set:
+                exports[point] = (oi, is_core)
+
+    uf = UnionFind(len(flat))
+    merges = 0
+    num_edges = 0
+    for ci in kept:
+        for s in flat[ci][1]:
+            hit = exports.get(s)
+            if hit is None:
+                continue
+            oi, is_core = hit
+            if not is_core:
+                continue  # border export: legal overlap, not an edge
+            num_edges += 1
+            if uf.union(ci, oi):
+                merges += 1
+
+    root_to_gid: dict[int, int] = {}
+    gid_of: dict[tuple[int, int], int] = {}
+    groups: dict[int, list[int]] = {}
+    for ci in kept:
+        root = uf.find(ci)
+        gid = root_to_gid.setdefault(root, len(root_to_gid))
+        groups.setdefault(gid, []).append(ci)
+        gid_of[flat[ci][0].cid] = gid
+
+    # Border-seed claims, founder-sorted as in `merge_union_find`: a
+    # seed that is a member of a kept cluster is in the export table
+    # (members with foreign neighbours are always exported), so
+    # ``s not in exports`` ⟺ ``s not in owner`` over seed points.
+    claims: dict[int, int] = {}
+    for ci in kept:
+        gid = root_to_gid[uf.find(ci)]
+        for s in flat[ci][1]:
+            if s not in exports and s not in claims:
+                claims[s] = gid
+
+    return EdgeMergePlan(
+        gid_of=gid_of,
+        claims=claims,
+        num_partials=len(flat),
+        num_seeds=sum(len(seed_list) for _, seed_list in flat),
+        num_edges=num_edges,
+        num_merges=merges,
+        num_global_clusters=len(root_to_gid),
+        groups=[groups[g] for g in sorted(groups)],
+    )
+
+
+def apply_gid_map(
+    partials: list[PartialCluster],
+    plan: EdgeMergePlan,
+    n: int,
+) -> np.ndarray:
+    """Reference label application (the distributed pass, run locally).
+
+    The pipeline's `ApplyGidMap` stage does this executor-side per
+    partition; this helper exists for tests and benchmarks that hold the
+    partials in one process.
+    """
+    labels = np.full(n, NOISE, dtype=np.int64)
+    for c in partials:
+        gid = plan.gid_of.get(c.cid)
+        if gid is not None and c.members:
+            labels[np.asarray(c.members, dtype=np.int64)] = gid
+    for s, gid in plan.claims.items():
+        labels[s] = gid
+    return labels

@@ -21,6 +21,7 @@ Seed policies (DESIGN.md §4):
 
 from __future__ import annotations
 
+import pickle
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -137,6 +138,7 @@ def local_dbscan(
     max_neighbors: int | None = None,
     counters: OpCounters | None = None,
     neighbor_mode: str = "per_point",
+    boundary_out: set[int] | None = None,
 ) -> list[PartialCluster]:
     """Build the partial clusters of one partition (Algorithm 2 lines 4–29).
 
@@ -154,6 +156,13 @@ def local_dbscan(
     clusters — members, member order, borders, seeds — are identical to
     the per-point mode; ``range_queries`` counts the whole owned range
     (which per-point mode also queries exactly once per point).
+
+    ``boundary_out``, when given, collects every *queried* owned point
+    that has at least one foreign neighbour within eps.  Intersected
+    with a partial cluster's members it yields exactly the points some
+    other partition can see as a SEED (eps-symmetry) — the export set
+    of the edge-based merge (DESIGN.md §11).  Requires
+    ``max_neighbors=None``: truncation breaks the symmetry argument.
     """
     if seed_policy not in SEED_POLICIES:
         raise ValueError(f"seed_policy must be one of {SEED_POLICIES}, got {seed_policy!r}")
@@ -170,6 +179,13 @@ def local_dbscan(
             indptr, indices = tree.query_radius_batch(
                 points[lo:hi], eps, max_neighbors
             )
+        if boundary_out is not None:
+            # A row is boundary iff any neighbour falls outside [lo, hi).
+            # cumsum-of-flags handles empty rows, unlike np.add.reduceat.
+            outside = (indices < lo) | (indices >= hi)
+            cs = np.concatenate(([0], np.cumsum(outside)))
+            rows = np.flatnonzero(cs[indptr[1:]] > cs[indptr[:-1]])
+            boundary_out.update((rows + lo).tolist())
         if counters is None:
             # Phase B fast path: row-at-a-time vectorised expansion.
             return _expand_batched(
@@ -194,6 +210,18 @@ def local_dbscan(
 
         def neigh_of(j: int) -> np.ndarray:
             return query(points[j], eps, max_neighbors)
+
+    if boundary_out is not None and neighbor_mode != "batched":
+        # Per-point modes record boundary lazily: only visited points
+        # get queried, but every cluster member is visited, so the
+        # export set (boundary ∩ members) matches the batched mode.
+        inner = neigh_of
+
+        def neigh_of(j: int, _inner=inner) -> np.ndarray:
+            row = _inner(j)
+            if row.size and bool(((row < lo) | (row >= hi)).any()):
+                boundary_out.add(j)
+            return row
 
     if counters is not None:
         return _expand_counted(
@@ -453,3 +481,172 @@ def _expand_counted(
                 c.seeds_placed += 1
         partials.append(cluster)
     return partials
+
+
+# --------------------------------------------------------------------------
+# Edge-based merge representation (DESIGN.md §11).
+#
+# In ``merge_mode="edges"`` the executor keeps its partial clusters local
+# and ships only a `PartitionDigest`: point-free summaries, the seed lists
+# (the outgoing half-edges), and the *export* table — boundary members
+# another partition can reach, keyed so the driver can join seeds against
+# them.  Collected bytes scale with the cross-partition surface, not with
+# the number of points.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class PartialSummary:
+    """Point-free description of one partial cluster.
+
+    ``founder`` is ``members[0]`` — the cluster's first-expanded point.
+    Founders are globally unique (every point is a member of at most one
+    partial cluster), so sorting summaries by founder reproduces the
+    canonical order `CollectPartials` gives the full partial list, which
+    is what keeps gid numbering identical across merge modes.
+    """
+
+    partition: int
+    local_id: int
+    founder: int
+    n_members: int
+    n_seeds: int
+    n_borders: int
+
+    @property
+    def cid(self) -> tuple[int, int]:
+        """Globally-unique cluster id: (partition, local id)."""
+        return (self.partition, self.local_id)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements — matches `PartialCluster.size`."""
+        return self.n_members + self.n_seeds
+
+
+@dataclass
+class LocalExpansion:
+    """One partition's expansion output, retained executor-side.
+
+    Cached in the lineage (never collected): job 1 derives the digest
+    from it, job 2 applies the broadcast gid map to its members.
+    ``boundary`` is the queried-points-with-foreign-neighbours set from
+    ``local_dbscan(boundary_out=...)``.
+    """
+
+    partition: int
+    partials: list[PartialCluster]
+    boundary: set[int]
+    counters: OpCounters | None = None
+
+
+@dataclass
+class PartitionDigest:
+    """The compact merge input one partition ships to the driver.
+
+    ``seeds[k]`` lists the foreign points ``summaries[k]`` reached
+    (outgoing half-edges); ``exports`` holds ``(point, local_id,
+    is_core)`` for every boundary member — the incoming half-edges.  By
+    eps-symmetry a point is a SEED of some other partition iff it has a
+    foreign neighbour, so joining seeds against exports recovers exactly
+    the owner-map edges the partial-mode merge walks.
+    """
+
+    partition: int
+    summaries: list[PartialSummary]
+    seeds: list[list[int]]
+    exports: list[tuple[int, int, bool]]
+
+
+def partition_digest(exp: LocalExpansion) -> PartitionDigest:
+    """Distill one partition's expansion into its merge digest."""
+    summaries: list[PartialSummary] = []
+    seeds: list[list[int]] = []
+    exports: list[tuple[int, int, bool]] = []
+    for c in exp.partials:
+        summaries.append(
+            PartialSummary(
+                partition=c.partition,
+                local_id=c.local_id,
+                founder=c.members[0],
+                n_members=len(c.members),
+                n_seeds=len(c.seeds),
+                n_borders=len(c.borders),
+            )
+        )
+        seeds.append([int(s) for s in c.seeds])
+        for m in c.members:
+            if m in exp.boundary:
+                exports.append((int(m), c.local_id, m not in c.borders))
+    return PartitionDigest(
+        partition=exp.partition, summaries=summaries, seeds=seeds, exports=exports
+    )
+
+
+def digest_from_partials(partials: list[PartialCluster]) -> list[PartitionDigest]:
+    """Digests equivalent to what the executors would have emitted.
+
+    Reference path for tests and benchmarks: without the executors'
+    boundary sets, the export table is reconstructed as members ∩
+    union-of-all-seeds — every point that actually participates in a
+    seed/export join.  (The executor-side export set is a superset —
+    boundary members nobody seeded — which the join simply never probes.)
+    """
+    targets: set[int] = set()
+    for c in partials:
+        targets.update(c.seeds)
+    by_partition: dict[int, list[PartialCluster]] = {}
+    for c in partials:
+        by_partition.setdefault(c.partition, []).append(c)
+    digests = []
+    for pid in sorted(by_partition):
+        exp = LocalExpansion(
+            partition=pid,
+            partials=by_partition[pid],
+            boundary={m for c in by_partition[pid] for m in c.members if m in targets},
+        )
+        digests.append(partition_digest(exp))
+    return digests
+
+
+def partials_payload_nbytes(partials: list[PartialCluster]) -> int:
+    """Canonical driver-collect size of the partial-mode payload.
+
+    Pickles a plain-tuple rendering (sorted borders, fixed protocol),
+    one item at a time, so the byte count is deterministic across
+    backends and Python versions — pickling the whole list at once would
+    let the memo deduplicate objects shared *across* items (e.g.
+    interned status strings), and how much is shared depends on whether
+    partials were unpickled per-partition or created in-process.  The
+    sum feeds the ``repro_driver_collect_bytes`` gauge the perf gate
+    compares exactly.
+    """
+    return sum(
+        len(pickle.dumps(
+            (c.partition, c.local_id, c.lo, c.hi, list(c.members),
+             list(c.seeds), sorted(c.borders), c.status),
+            protocol=4,
+        ))
+        for c in partials
+    )
+
+
+def digest_payload_nbytes(digests: list[PartitionDigest]) -> int:
+    """Canonical driver-collect size of the edge-mode payload.
+
+    Per-digest pickling, summed, for the same backend-invariance reason
+    as :func:`partials_payload_nbytes`.
+    """
+    return sum(
+        len(pickle.dumps(
+            (
+                d.partition,
+                [(s.partition, s.local_id, s.founder, s.n_members,
+                  s.n_seeds, s.n_borders) for s in d.summaries],
+                [[int(x) for x in ss] for ss in d.seeds],
+                [(int(p), int(l), bool(core)) for (p, l, core) in d.exports],
+            ),
+            protocol=4,
+        ))
+        for d in digests
+    )

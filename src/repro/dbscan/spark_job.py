@@ -85,6 +85,13 @@ class SparkDBSCAN:
         with partition-local kd-trees and an eps-halo — the driver never
         builds a global index and never broadcasts anything
         dataset-sized (DESIGN.md §10).  Labels are byte-identical.
+    merge_mode:
+        ``"partials"`` (default): executors ship whole partial clusters
+        to the driver (the paper's path).  ``"edges"``: executors ship
+        compact partition digests, the driver union-finds over cluster
+        keys — O(edges + partials), not O(points) — and a second
+        distributed pass applies the broadcast gid map (DESIGN.md §11).
+        Labels are byte-identical.
     tracer:
         `repro.obs.Tracer` receiving the run's phase spans (DESIGN.md
         §7).  Defaults to the no-op `NULL_TRACER`; labels are identical
@@ -120,6 +127,7 @@ class SparkDBSCAN:
         keep_partials: bool = False,
         neighbor_mode: str = "per_point",
         partitioning: str = "range",
+        merge_mode: str = "partials",
         tracer: Tracer | None = None,
         metrics_registry=None,
         sanitize: bool = False,
@@ -143,6 +151,7 @@ class SparkDBSCAN:
             keep_partials=keep_partials,
             neighbor_mode=neighbor_mode,
             partitioning=partitioning,
+            merge_mode=merge_mode,
             sanitize=sanitize,
             profile=profile,
             profile_alloc=profile_alloc,
@@ -199,13 +208,21 @@ class SparkDBSCAN:
         build — used when timing query cost separately.
         """
         state = self._fit_state(points, sc=sc, tree=tree)
-        partials = state.partials if state.partials is not None else []
+        partials = state.partials
+        if partials is not None:
+            num_partials = len(partials)
+            num_seeds = sum(len(c.seeds) for c in partials)
+        else:
+            # merge_mode="edges": no partials ever reach the driver; the
+            # counts come from the digest summaries via MergeEdges.
+            num_partials = int(state.extras.get("num_partials", 0))
+            num_seeds = int(state.extras.get("num_seeds", 0))
         return SparkDBSCANResult(
             labels=state.labels,
             timings=state.timings,
-            num_partial_clusters=len(partials),
-            num_seeds=sum(len(c.seeds) for c in partials),
+            num_partial_clusters=num_partials,
+            num_seeds=num_seeds,
             num_merges=state.outcome.num_merges,
-            partials=partials if self.config.keep_partials else None,
+            partials=(partials or []) if self.config.keep_partials else None,
             perm=state.perm,
         )

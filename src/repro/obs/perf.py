@@ -74,6 +74,12 @@ def build_bench(
         halo = registry.get("repro_cell_halo_bytes")
         if halo is not None:
             counts["halo_bytes"] = int(halo.value())
+        collect = registry.get("repro_driver_collect_bytes")
+        if collect is not None:
+            # Canonical pickled size of the merge payload the driver
+            # collected — O(points) for merge_mode="partials", O(edges +
+            # partials) for "edges".  Deterministic, so compared exactly.
+            counts["collect_bytes"] = int(collect.value())
     if extra_measures:
         measures.update({k: round(v, 6) for k, v in extra_measures.items()})
     if extra_counts:

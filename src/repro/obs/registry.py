@@ -315,6 +315,28 @@ def record_op_counters(
             c.inc(count, op=op, partition=partition)
 
 
+def record_merge_outcome(
+    registry: MetricsRegistry,
+    num_merges: int,
+    num_global_clusters: int,
+    overlapping_points: int,
+) -> None:
+    """Surface the driver merge's `MergeOutcome` stats as gauges."""
+    registry.gauge(
+        "repro_merge_merges",
+        "Successful partial-cluster unions performed by the driver merge.",
+    ).set(num_merges)
+    registry.gauge(
+        "repro_merge_global_clusters",
+        "Global clusters after the driver merge.",
+    ).set(num_global_clusters)
+    registry.gauge(
+        "repro_merge_overlapping_points",
+        "Unfollowed merge evidence left by the paper strategy (0 for "
+        "union_find).",
+    ).set(overlapping_points)
+
+
 def record_checkpoint(registry: MetricsRegistry, stage: str, hit: bool) -> None:
     """Count one pipeline checkpoint decision (restored = hit, written = miss)."""
     name = (

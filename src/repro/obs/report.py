@@ -43,6 +43,7 @@ DRIVER_PHASE_ORDER = (
     "driver.broadcast",
     "driver.accumulator_drain",
     "driver.merge",
+    "driver.apply_labels",
     "driver.relabel",
 )
 

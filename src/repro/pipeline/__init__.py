@@ -16,11 +16,14 @@ from .config import ALGORITHMS, HASHED_FIELDS, PARTITIONINGS, RunConfig
 from .checkpoint import CheckpointError, CheckpointStore
 from .state import PipelineState
 from .stages import (
+    ApplyGidMap,
     BroadcastModel,
     BuildIndex,
+    CollectEdges,
     CollectPartials,
     LoadPoints,
     LocalExpand,
+    MergeEdges,
     MergePartials,
     PartitionPlan,
     PipelineError,
@@ -38,12 +41,15 @@ from .plans import (
     STAGE_MANIFEST,
     Plan,
     build_plan,
+    cell_edges_plan,
     cell_plan,
     mapreduce_plan,
     naive_plan,
     plan_name,
     sequential_plan,
+    spark_edges_plan,
     spark_plan,
+    spatial_edges_plan,
     spatial_plan,
 )
 from .runner import RESTORED, RUN, SKIPPED, PipelineCrash, PipelineRunner
@@ -66,6 +72,9 @@ __all__ = [
     "LocalExpand",
     "CollectPartials",
     "MergePartials",
+    "CollectEdges",
+    "MergeEdges",
+    "ApplyGidMap",
     "RelabelFilter",
     "SequentialExpand",
     "CellPartition",
@@ -86,6 +95,9 @@ __all__ = [
     "spark_plan",
     "spatial_plan",
     "cell_plan",
+    "spark_edges_plan",
+    "spatial_edges_plan",
+    "cell_edges_plan",
     "sequential_plan",
     "naive_plan",
     "mapreduce_plan",

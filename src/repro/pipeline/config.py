@@ -51,6 +51,7 @@ HASHED_FIELDS = (
     "max_rounds",
     "startup_overhead",
     "partitioning",
+    "merge_mode",
 )
 
 
@@ -77,6 +78,12 @@ class RunConfig:
     keep_partials: bool = False
     neighbor_mode: str = "per_point"
     partitioning: str = "range"
+    #: How partial clusters reach the driver: ``"partials"`` ships whole
+    #: point lists (the paper's path); ``"edges"`` ships digests and
+    #: labels via a second distributed pass (DESIGN.md §11).  Labels are
+    #: byte-identical; hashed because the stage list (and therefore the
+    #: checkpoint artifacts) differ.
+    merge_mode: str = "partials"
     sanitize: bool = False
     # Runtime-only observability knobs (like master/sanitize, excluded
     # from the content hash: they never change the answer).
@@ -94,7 +101,7 @@ class RunConfig:
         # Imported lazily: repro.dbscan and repro.pipeline import each
         # other at module level, and this module must stay importable
         # from either direction.
-        from ..dbscan.merge import MERGE_STRATEGIES
+        from ..dbscan.merge import MERGE_MODES, MERGE_STRATEGIES
         from ..dbscan.partial import NEIGHBOR_MODES, SEED_POLICIES
 
         if self.algorithm not in ALGORITHMS:
@@ -122,6 +129,31 @@ class RunConfig:
                 "partitioning='cells' re-bases the spark plan; it cannot "
                 f"combine with algorithm={self.algorithm!r}"
             )
+        if self.merge_mode not in MERGE_MODES:
+            raise ValueError(f"unknown merge_mode {self.merge_mode!r}")
+        if self.merge_mode == "edges":
+            if self.algorithm not in ("spark", "spatial"):
+                raise ValueError(
+                    "merge_mode='edges' applies to the SEED pipelines "
+                    f"(spark, spatial); algorithm={self.algorithm!r} has no "
+                    "driver merge to replace"
+                )
+            if self.merge_strategy != "union_find":
+                raise ValueError(
+                    "merge_mode='edges' implements the union-find closure; "
+                    f"merge_strategy={self.merge_strategy!r} is partials-only"
+                )
+            if self.keep_partials:
+                raise ValueError(
+                    "merge_mode='edges' never ships point lists to the "
+                    "driver, so keep_partials=True cannot be honoured"
+                )
+            if self.max_neighbors is not None:
+                raise ValueError(
+                    "merge_mode='edges' derives merge edges from the "
+                    "symmetric eps-graph; max_neighbors truncation breaks "
+                    "that symmetry (use merge_mode='partials')"
+                )
         if self.max_neighbors is not None and self.max_neighbors < 1:
             raise ValueError(
                 f"max_neighbors must be >= 1 or None, got {self.max_neighbors}"

@@ -12,6 +12,10 @@ small edits of it (Section IV vs. the Section V baselines):
                 MergePartials → RelabelFilter — the spark plan re-based on
                 cell partitions with local indexes and an eps-halo; no
                 BuildIndex, no BroadcastModel (``partitioning="cells"``)
+``*_edges``     the spark/spatial/cell compositions with the edge-based
+                merge tail (``merge_mode="edges"``): LocalExpand emits
+                digests, then CollectEdges → MergeEdges → ApplyGidMap
+                replaces CollectPartials → MergePartials (DESIGN.md §11)
 ``sequential``  the degenerate single-partition plan: LoadPoints →
                 BuildIndex → SequentialExpand
 ``naive``       LoadPoints → BuildIndex → ShuffleExpand → RelabelFilter
@@ -31,11 +35,14 @@ from dataclasses import dataclass, field
 
 from .config import RunConfig
 from .stages import (
+    ApplyGidMap,
     BroadcastModel,
     BuildIndex,
+    CollectEdges,
     CollectPartials,
     LoadPoints,
     LocalExpand,
+    MergeEdges,
     MergePartials,
     PartitionPlan,
     RelabelFilter,
@@ -133,6 +140,79 @@ def cell_plan(config: RunConfig) -> Plan:
     )
 
 
+def spark_edges_plan(config: RunConfig) -> Plan:
+    """The SEED pipeline with the edge-based merge tail
+    (``RunConfig(merge_mode="edges")``, DESIGN.md §11).
+
+    Executors cache their expansions and ship only partition digests;
+    the driver union-finds over cluster keys and a second distributed
+    pass applies the broadcast gid map.  Labels are byte-identical to
+    the partial-mode plan.
+    """
+    return Plan(
+        name="spark_edges",
+        algo_label="SparkDBSCAN[edges]",
+        stages=(
+            LoadPoints(),
+            BuildIndex(),
+            PartitionPlan(),
+            BroadcastModel(),
+            LocalExpand(emit="edges"),
+            CollectEdges(),
+            MergeEdges(),
+            ApplyGidMap(),
+            RelabelFilter(),
+        ),
+        outputs=("labels", "outcome"),
+    )
+
+
+def spatial_edges_plan(config: RunConfig) -> Plan:
+    """The spatial SEED pipeline with the edge-based merge tail."""
+    return Plan(
+        name="spatial_edges",
+        algo_label="SpatialSparkDBSCAN[edges]",
+        stages=(
+            LoadPoints(),
+            SpatialReorder(),
+            BuildIndex(requires=("points", "perm")),
+            PartitionPlan(),
+            BroadcastModel(),
+            LocalExpand(emit="edges"),
+            CollectEdges(),
+            MergeEdges(),
+            ApplyGidMap(),
+            # keep_partials is rejected with merge_mode="edges" (no
+            # partials ever reach the driver), so the tail only undoes
+            # the permutation.
+            RelabelFilter(spatial=True),
+        ),
+        outputs=("labels", "outcome", "perm"),
+    )
+
+
+def cell_edges_plan(config: RunConfig) -> Plan:
+    """The cell-partitioned SEED pipeline with the edge-based merge tail.
+
+    Still no dataset-sized broadcast: `ApplyGidMap` broadcasts only the
+    O(partials) gid map.
+    """
+    return Plan(
+        name="cell_edges",
+        algo_label="SparkDBSCAN[cells,edges]",
+        stages=(
+            LoadPoints(),
+            CellPartition(),
+            LocalIndexExpand(emit="edges"),
+            CollectEdges(),
+            MergeEdges(),
+            ApplyGidMap(),
+            RelabelFilter(),
+        ),
+        outputs=("labels", "outcome"),
+    )
+
+
 def sequential_plan(config: RunConfig) -> Plan:
     """Algorithm 1 as a degenerate single-partition plan."""
     return Plan(
@@ -183,6 +263,9 @@ PLAN_BUILDERS = {
     "spark": spark_plan,
     "spatial": spatial_plan,
     "cell": cell_plan,
+    "spark_edges": spark_edges_plan,
+    "spatial_edges": spatial_edges_plan,
+    "cell_edges": cell_edges_plan,
     "sequential": sequential_plan,
     "naive": naive_plan,
     "mapreduce": mapreduce_plan,
@@ -208,6 +291,20 @@ STAGE_MANIFEST = {
         "LoadPoints", "CellPartition", "LocalIndexExpand", "CellCollect",
         "MergePartials", "RelabelFilter",
     ),
+    "spark_edges": (
+        "LoadPoints", "BuildIndex", "PartitionPlan", "BroadcastModel",
+        "LocalExpand", "CollectEdges", "MergeEdges", "ApplyGidMap",
+        "RelabelFilter",
+    ),
+    "spatial_edges": (
+        "LoadPoints", "SpatialReorder", "BuildIndex", "PartitionPlan",
+        "BroadcastModel", "LocalExpand", "CollectEdges", "MergeEdges",
+        "ApplyGidMap", "RelabelFilter",
+    ),
+    "cell_edges": (
+        "LoadPoints", "CellPartition", "LocalIndexExpand", "CollectEdges",
+        "MergeEdges", "ApplyGidMap", "RelabelFilter",
+    ),
     "sequential": ("LoadPoints", "BuildIndex", "SequentialExpand"),
     "naive": ("LoadPoints", "BuildIndex", "ShuffleExpand", "NaiveRelabel"),
     "mapreduce": (
@@ -219,18 +316,22 @@ STAGE_MANIFEST = {
 # Plans under the paper's zero-shuffle contract (Algorithms 3-4): their
 # stage classes are SHF001 entry points, so a stage added to these
 # compositions is automatically under the shuffle-free proof.
-SHUFFLE_FREE_PLANS = ("spark", "spatial", "cell")
+SHUFFLE_FREE_PLANS = (
+    "spark", "spatial", "cell", "spark_edges", "spatial_edges", "cell_edges",
+)
 
 
 def plan_name(config: RunConfig) -> str:
     """The plan a config resolves to.
 
     ``partitioning="cells"`` swaps the spark composition for the cell
-    plan; every other config maps straight to its algorithm name.
+    plan; ``merge_mode="edges"`` swaps the merge tail; every other
+    config maps straight to its algorithm name.
     """
-    if config.partitioning == "cells":
-        return "cell"
-    return config.algorithm
+    base = "cell" if config.partitioning == "cells" else config.algorithm
+    if config.merge_mode == "edges":
+        return f"{base}_edges"
+    return base
 
 
 def build_plan(config: RunConfig) -> Plan:

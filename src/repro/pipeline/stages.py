@@ -30,11 +30,45 @@ import numpy as np
 from ..engine import LIST_CONCAT
 from ..engine.partitioner import IndexRangePartitioner
 from ..kdtree import KDTree
-from ..dbscan.merge import MergeOutcome, merge_partials
-from ..dbscan.partial import OpCounters, PartialCluster, local_dbscan
+from ..dbscan.core import NOISE
+from ..dbscan.merge import EdgeMergePlan, MergeOutcome, merge_edges, merge_partials
+from ..dbscan.partial import (
+    LocalExpansion,
+    OpCounters,
+    PartialCluster,
+    PartialSummary,
+    PartitionDigest,
+    digest_payload_nbytes,
+    local_dbscan,
+    partials_payload_nbytes,
+    partition_digest,
+)
 from ..obs.collect import task_span
 from .checkpoint import CheckpointStore
 from .state import PipelineState
+
+#: Driver-collected payload size (canonical pickled bytes) of the merge
+#: input — partial clusters or digests depending on ``merge_mode``.  The
+#: perf gate compares it exactly, hence the canonical rendering.
+COLLECT_BYTES_HELP = (
+    "Canonical pickled size of the merge payload collected by the driver."
+)
+
+
+def _graft_executor_spans(
+    state: PipelineState, partials_per: list[int], seeds_per: list[int]
+) -> None:
+    """Graft per-partition expansion spans onto the driver trace.
+
+    With one partition per core (the paper's setup) their max is the
+    executor wall.
+    """
+    for pid, dur in enumerate(state.timings.executor_task_durations):
+        state.tracer.add_span(
+            "executor.partition_expand", dur, cat="executor",
+            tid=f"executor-{pid}", partition=pid,
+            partials=partials_per[pid], seeds=seeds_per[pid],
+        )
 
 
 class PipelineError(Exception):
@@ -197,11 +231,24 @@ class BroadcastModel(Stage):
 
 
 class LocalExpand(Stage):
-    """Run local DBSCAN with SEED placement on every partition (ll. 4-29)."""
+    """Run local DBSCAN with SEED placement on every partition (ll. 4-29).
+
+    ``emit="partials"`` (default) ships whole partial clusters through
+    the accumulator.  ``emit="edges"`` keeps the expansion cached in the
+    lineage and ships only each partition's `PartitionDigest`
+    (DESIGN.md §11); `ApplyGidMap` later reuses the cached expansion —
+    or deterministically recomputes it on a cache miss under the
+    processes backend — to label members executor-side.
+    """
 
     name = "LocalExpand"
     requires = ("engine", "partitioner")
     provides = ("expanded",)
+
+    def __init__(self, emit: str = "partials"):
+        if emit not in ("partials", "edges"):
+            raise ValueError(f"emit must be 'partials' or 'edges', got {emit!r}")
+        self.emit = emit
 
     def run(self, state: PipelineState) -> None:
         cfg = state.config
@@ -211,14 +258,16 @@ class LocalExpand(Stage):
         neighbor_mode = cfg.neighbor_mode
         tree_b, acc, counters_acc = state.tree_b, state.acc, state.counters_acc
         collect_counters = counters_acc is not None
+        track_boundary = self.emit == "edges"
 
-        def run_partition(pid: int, it) -> None:
+        def expand(pid: int, it) -> LocalExpansion:
             # Worker sub-phase spans: no-ops unless the run collects
             # telemetry, merged into the driver trace either way.
             with task_span("task.broadcast_fetch", partition=pid) as bsp:
                 t = tree_b.value
                 bsp.annotate(n=len(t.points))
             counters = OpCounters() if collect_counters else None
+            boundary: set[int] | None = set() if track_boundary else None
             with task_span(
                 "task.expand", partition=pid, mode=neighbor_mode,
             ) as esp:
@@ -226,15 +275,46 @@ class LocalExpand(Stage):
                     pid, it, t.points, t, eps, minpts, partitioner,
                     seed_policy=seed_policy, max_neighbors=max_neighbors,
                     neighbor_mode=neighbor_mode, counters=counters,
+                    boundary_out=boundary,
                 )
                 esp.annotate(partials=len(result))
-            # Algorithm 2 lines 26-28: ship partial clusters to the driver
-            # through the accumulator as the task finishes.
-            acc.add(result)
-            if counters_acc is not None:
-                counters_acc.add([(pid, counters)])
+            return LocalExpansion(
+                partition=pid, partials=result,
+                boundary=boundary if boundary is not None else set(),
+                counters=counters,
+            )
 
-        state.indices.foreach_partition_with_index(run_partition)
+        if self.emit == "partials":
+
+            def run_partition(pid: int, it) -> None:
+                exp = expand(pid, it)
+                # Algorithm 2 lines 26-28: ship partial clusters to the
+                # driver through the accumulator as the task finishes.
+                acc.add(exp.partials)
+                if counters_acc is not None:
+                    counters_acc.add([(pid, exp.counters)])
+
+            state.indices.foreach_partition_with_index(run_partition)
+        else:
+
+            def expand_partition(pid: int, it):
+                yield expand(pid, it)
+
+            # Cached executor-side; the digest job below and ApplyGidMap
+            # both consume it.  Counters/digests are shipped only from the
+            # foreach action so a job-2 cache miss cannot double-count.
+            expanded = state.indices.map_partitions_with_index(
+                expand_partition
+            ).persist()
+            state.extras["expanded_rdd"] = expanded
+
+            def emit_digest(pid: int, it) -> None:
+                for exp in it:
+                    acc.add([partition_digest(exp)])
+                    if counters_acc is not None:
+                        counters_acc.add([(pid, exp.counters)])
+
+            expanded.foreach_partition_with_index(emit_digest)
 
         durations = state.sc.last_job_metrics.task_durations()
         state.timings.executor_task_durations = durations
@@ -243,7 +323,13 @@ class LocalExpand(Stage):
 
 
 class CollectPartials(Stage):
-    """Drain the accumulator: partial clusters (and OpCounters) to driver."""
+    """Drain the accumulator: partial clusters (and OpCounters) to driver.
+
+    The collected list is founder-sorted (by ``members[0]``, globally
+    unique) into a canonical order: accumulator merge order follows task
+    *completion* under the threads/processes backends, and gid numbering
+    downstream must not depend on which executor finished first.
+    """
 
     name = "CollectPartials"
     requires = ("expanded", "engine")
@@ -254,7 +340,14 @@ class CollectPartials(Stage):
         tracer = state.tracer
         with tracer.span("driver.accumulator_drain", cat="driver") as sp:
             partials = list(state.acc.value)
+            partials.sort(key=lambda c: c.members[0])
             sp.annotate(num_partials=len(partials))
+            if state.metrics_registry is not None:
+                nbytes = partials_payload_nbytes(partials)
+                state.metrics_registry.gauge(
+                    "repro_driver_collect_bytes", COLLECT_BYTES_HELP
+                ).set(nbytes)
+                sp.annotate(collect_bytes=nbytes)
         state.partials = partials
 
         if tracer.enabled:
@@ -264,14 +357,7 @@ class CollectPartials(Stage):
             for c in partials:
                 partials_per[c.partition] += 1
                 seeds_per[c.partition] += len(c.seeds)
-            # Graft per-partition expansion spans: with one partition per
-            # core (the paper's setup) their max is the executor wall.
-            for pid, dur in enumerate(state.timings.executor_task_durations):
-                tracer.add_span(
-                    "executor.partition_expand", dur, cat="executor",
-                    tid=f"executor-{pid}", partition=pid,
-                    partials=partials_per[pid], seeds=seeds_per[pid],
-                )
+            _graft_executor_spans(state, partials_per, seeds_per)
         state.counters = (
             list(state.counters_acc.value)
             if state.counters_acc is not None else None
@@ -355,6 +441,271 @@ class MergePartials(Stage):
                 overlapping_points=outcome.overlapping_points,
             )
         state.outcome = outcome
+        if state.metrics_registry is not None:
+            from ..obs.registry import record_merge_outcome
+
+            record_merge_outcome(
+                state.metrics_registry, outcome.num_merges,
+                outcome.num_global_clusters, outcome.overlapping_points,
+            )
+
+    def save(self, state: PipelineState, store: CheckpointStore) -> None:
+        o = state.outcome
+        store.save_npz(self.name, labels=o.labels)
+        store.save_json(self.name, {
+            "num_merges": o.num_merges,
+            "num_global_clusters": o.num_global_clusters,
+            "overlapping_points": o.overlapping_points,
+            "groups": o.groups,
+        })
+
+    def load(self, state: PipelineState, store: CheckpointStore) -> None:
+        stats = store.load_json(self.name)
+        labels = store.load_npz(self.name)["labels"].astype(np.int64)
+        state.outcome = MergeOutcome(
+            labels=labels,
+            num_merges=stats["num_merges"],
+            num_global_clusters=stats["num_global_clusters"],
+            overlapping_points=stats["overlapping_points"],
+            groups=[list(g) for g in stats["groups"]],
+        )
+
+
+# ---------------------------------------------------------------------------
+# edge-based merge tail (merge_mode="edges", DESIGN.md §11)
+# ---------------------------------------------------------------------------
+
+class CollectEdges(Stage):
+    """Drain the accumulator: partition digests (and OpCounters) to driver.
+
+    O(edges + partials) bytes cross to the driver — summaries, seed
+    half-edges, and boundary exports — never the member point lists,
+    which stay cached executor-side for `ApplyGidMap`.
+    """
+
+    name = "CollectEdges"
+    requires = ("expanded", "engine")
+    provides = ("digest",)
+    checkpointable = True
+
+    def run(self, state: PipelineState) -> None:
+        tracer = state.tracer
+        with tracer.span("driver.accumulator_drain", cat="driver") as sp:
+            digests = list(state.acc.value)
+            digests.sort(key=lambda d: d.partition)
+            sp.annotate(
+                num_digests=len(digests),
+                num_partials=sum(len(d.summaries) for d in digests),
+            )
+            if state.metrics_registry is not None:
+                nbytes = digest_payload_nbytes(digests)
+                state.metrics_registry.gauge(
+                    "repro_driver_collect_bytes", COLLECT_BYTES_HELP
+                ).set(nbytes)
+                sp.annotate(collect_bytes=nbytes)
+        state.extras["digest"] = digests
+
+        if tracer.enabled:
+            num_partitions = state.config.num_partitions
+            partials_per = [0] * num_partitions
+            seeds_per = [0] * num_partitions
+            for d in digests:
+                partials_per[d.partition] += len(d.summaries)
+                seeds_per[d.partition] += sum(len(ss) for ss in d.seeds)
+            _graft_executor_spans(state, partials_per, seeds_per)
+        state.counters = (
+            list(state.counters_acc.value)
+            if state.counters_acc is not None else None
+        )
+        CollectPartials._record_counters(state)
+
+    def save(self, state: PipelineState, store: CheckpointStore) -> None:
+        store.save_json(self.name, {
+            "n": state.n,
+            "digests": [
+                {
+                    "partition": d.partition,
+                    "summaries": [
+                        [s.partition, s.local_id, s.founder, s.n_members,
+                         s.n_seeds, s.n_borders]
+                        for s in d.summaries
+                    ],
+                    "seeds": d.seeds,
+                    "exports": [[p, l, bool(core)] for p, l, core in d.exports],
+                }
+                for d in state.extras["digest"]
+            ],
+            "counters": None if state.counters is None else [
+                [pid, vars(oc)] for pid, oc in state.counters
+            ],
+        })
+
+    def load(self, state: PipelineState, store: CheckpointStore) -> None:
+        doc = store.load_json(self.name)
+        state.extras["digest"] = [
+            PartitionDigest(
+                partition=d["partition"],
+                summaries=[
+                    PartialSummary(partition=p, local_id=l, founder=f,
+                                   n_members=m, n_seeds=s, n_borders=b)
+                    for p, l, f, m, s, b in d["summaries"]
+                ],
+                seeds=[list(ss) for ss in d["seeds"]],
+                exports=[(p, l, bool(core)) for p, l, core in d["exports"]],
+            )
+            for d in doc["digests"]
+        ]
+        state.counters = (
+            None if doc["counters"] is None
+            else [(pid, OpCounters(**c)) for pid, c in doc["counters"]]
+        )
+        CollectPartials._record_counters(state)
+
+
+class MergeEdges(Stage):
+    """Union-find over cluster keys on the driver: O(edges + partials)."""
+
+    name = "MergeEdges"
+    requires = ("digest",)
+    provides = ("merge_plan",)
+    checkpointable = True
+
+    def run(self, state: PipelineState) -> None:
+        cfg = state.config
+        digests = state.extras["digest"]
+        with state.tracer.span("driver.merge", cat="driver") as sp:
+            t0 = time.perf_counter()
+            plan = merge_edges(
+                digests, min_cluster_size=cfg.min_cluster_size
+            )
+            state.timings.driver_merge = time.perf_counter() - t0
+            sp.annotate(
+                strategy=cfg.merge_strategy,
+                merge_mode="edges",
+                num_partials=plan.num_partials,
+                num_seeds=plan.num_seeds,
+                num_edges=plan.num_edges,
+                num_merges=plan.num_merges,
+                num_global_clusters=plan.num_global_clusters,
+                overlapping_points=0,
+            )
+        self._install(state, plan)
+        if state.metrics_registry is not None:
+            from ..obs.registry import record_merge_outcome
+
+            state.metrics_registry.counter(
+                "repro_merge_edges_total",
+                "Core seed/export half-edge joins walked by the edge merge.",
+            ).inc(plan.num_edges)
+            record_merge_outcome(
+                state.metrics_registry, plan.num_merges,
+                plan.num_global_clusters, 0,
+            )
+
+    @staticmethod
+    def _install(state: PipelineState, plan: EdgeMergePlan) -> None:
+        state.extras["merge_plan"] = plan
+        # The result object's partial-cluster counts, without the partials.
+        state.extras["num_partials"] = plan.num_partials
+        state.extras["num_seeds"] = plan.num_seeds
+
+    def save(self, state: PipelineState, store: CheckpointStore) -> None:
+        plan = state.extras["merge_plan"]
+        store.save_json(self.name, {
+            "gid_of": [[p, l, g] for (p, l), g in sorted(plan.gid_of.items())],
+            "claims": [[s, g] for s, g in sorted(plan.claims.items())],
+            "num_partials": plan.num_partials,
+            "num_seeds": plan.num_seeds,
+            "num_edges": plan.num_edges,
+            "num_merges": plan.num_merges,
+            "num_global_clusters": plan.num_global_clusters,
+            "groups": plan.groups,
+        })
+
+    def load(self, state: PipelineState, store: CheckpointStore) -> None:
+        doc = store.load_json(self.name)
+        plan = EdgeMergePlan(
+            gid_of={(p, l): g for p, l, g in doc["gid_of"]},
+            claims={s: g for s, g in doc["claims"]},
+            num_partials=doc["num_partials"],
+            num_seeds=doc["num_seeds"],
+            num_edges=doc["num_edges"],
+            num_merges=doc["num_merges"],
+            num_global_clusters=doc["num_global_clusters"],
+            groups=[list(g) for g in doc["groups"]],
+        )
+        self._install(state, plan)
+
+
+class ApplyGidMap(Stage):
+    """Second distributed pass: label members executor-side via the
+    broadcast ``local_cid → gid`` map; the driver assembles per-cluster
+    ``(member ids, gid)`` chunks and applies the O(boundary) claims dict.
+
+    Under the processes backend a fresh worker misses the job-1 cache and
+    recomputes the expansion through the lineage — deterministically, so
+    the digest it was merged under still describes it exactly.
+    """
+
+    name = "ApplyGidMap"
+    requires = ("merge_plan", "expanded", "engine", "n")
+    provides = ("outcome",)
+    # A restore rebuilds the outcome from saved labels alone — no engine,
+    # so a fully-restored run never starts a SparkContext.
+    load_requires = ()
+    checkpointable = True
+
+    def run(self, state: PipelineState) -> None:
+        plan: EdgeMergePlan = state.extras["merge_plan"]
+        expanded = state.extras["expanded_rdd"]
+        sc = state.sc
+        try:
+            with state.tracer.span("driver.apply_labels", cat="driver") as sp:
+                t0 = time.perf_counter()
+                gid_b = sc.broadcast(dict(plan.gid_of))
+                label_acc = sc.accumulator(LIST_CONCAT)
+
+                def apply_partition(pid: int, it) -> None:
+                    gid_of = gid_b.value
+                    chunks = []
+                    for exp in it:
+                        for c in exp.partials:
+                            gid = gid_of.get((c.partition, c.local_id))
+                            if gid is not None and c.members:
+                                chunks.append(
+                                    (np.asarray(c.members, dtype=np.int64),
+                                     gid)
+                                )
+                    label_acc.add(chunks)
+
+                expanded.foreach_partition_with_index(apply_partition)
+                labels = np.full(state.n, NOISE, dtype=np.int64)
+                for ids, gid in label_acc.value:
+                    labels[ids] = gid
+                if plan.claims:
+                    claim_ids = np.fromiter(
+                        plan.claims.keys(), dtype=np.int64,
+                        count=len(plan.claims),
+                    )
+                    claim_gids = np.fromiter(
+                        plan.claims.values(), dtype=np.int64,
+                        count=len(plan.claims),
+                    )
+                    labels[claim_ids] = claim_gids
+                state.timings.driver_merge += time.perf_counter() - t0
+                sp.annotate(
+                    num_labelled_partials=len(plan.gid_of),
+                    num_claims=len(plan.claims),
+                )
+        finally:
+            expanded.unpersist()
+        state.outcome = MergeOutcome(
+            labels=labels,
+            num_merges=plan.num_merges,
+            num_global_clusters=plan.num_global_clusters,
+            overlapping_points=0,
+            groups=[list(g) for g in plan.groups],
+        )
 
     def save(self, state: PipelineState, store: CheckpointStore) -> None:
         o = state.outcome
@@ -490,6 +841,9 @@ __all__ = [
     "LocalExpand",
     "CollectPartials",
     "MergePartials",
+    "CollectEdges",
+    "MergeEdges",
+    "ApplyGidMap",
     "RelabelFilter",
     "SequentialExpand",
 ]

@@ -17,7 +17,7 @@ with the MR-DBSCAN / dDBGSCAN shape (`repro.dbscan.cells`):
   module; ``tests/pipeline/test_cell_plan.py`` pins that with the
   broadcast-nbytes telemetry.
 - `CellCollect` drains the accumulator exactly like `CollectPartials`,
-  then sorts the partials by founder (``members[0]``): cell ownership
+  whose founder sort (``members[0]``) matters most here: cell ownership
   is not contiguous, so the accumulator's partition order differs from
   the range plan's, but every partial's founder is the smallest core
   point it covers — sorting restores the global numbering order and the
@@ -40,7 +40,7 @@ import numpy as np
 
 from ..engine import LIST_CONCAT
 from ..dbscan.cells import CellAssignment, build_cell_assignment, cell_local_dbscan
-from ..dbscan.partial import OpCounters
+from ..dbscan.partial import LocalExpansion, OpCounters, partition_digest
 from .checkpoint import CheckpointStore
 from .stages import CollectPartials, Stage
 from .state import PipelineState
@@ -127,6 +127,11 @@ class LocalIndexExpand(Stage):
     requires = ("cell_assignment", "points")
     provides = ("engine", "expanded")
 
+    def __init__(self, emit: str = "partials"):
+        if emit not in ("partials", "edges"):
+            raise ValueError(f"emit must be 'partials' or 'edges', got {emit!r}")
+        self.emit = emit
+
     def run(self, state: PipelineState) -> None:
         cfg = state.config
         assignment = state.extras["cell_assignment"]
@@ -169,11 +174,13 @@ class LocalIndexExpand(Stage):
         max_neighbors, neighbor_mode = cfg.max_neighbors, cfg.neighbor_mode
         acc, counters_acc = state.acc, state.counters_acc
         collect_counters = counters_acc is not None
+        track_boundary = self.emit == "edges"
 
-        def run_partition(pid: int, it) -> None:
+        def expand(pid: int, it) -> LocalExpansion:
             from ..obs.collect import task_span
 
             counters = OpCounters() if collect_counters else None
+            boundary: set[int] | None = set() if track_boundary else None
             result = []
             with task_span("task.expand", partition=pid,
                            mode=neighbor_mode) as esp:
@@ -185,16 +192,52 @@ class LocalIndexExpand(Stage):
                         payload, eps, minpts, leaf_size=leaf_size,
                         seed_policy=seed_policy, max_neighbors=max_neighbors,
                         neighbor_mode=neighbor_mode, counters=counters,
+                        boundary_out=boundary,
                     ))
+                if track_boundary:
+                    # A partition may aggregate several payloads whose
+                    # partials restart local_id at 0; renumber so the
+                    # (partition, local_id) cid is unique in the digest.
+                    for k, c in enumerate(result):
+                        c.local_id = k
                 esp.annotate(partials=len(result), n_own=n_own,
                              n_halo=n_halo)
-            # Partial clusters ship to the driver through the accumulator
-            # as the task finishes, exactly like the range plan.
-            acc.add(result)
-            if counters_acc is not None:
-                counters_acc.add([(pid, counters)])
+            return LocalExpansion(
+                partition=pid, partials=result,
+                boundary=boundary if boundary is not None else set(),
+                counters=counters,
+            )
 
-        state.indices.foreach_partition_with_index(run_partition)
+        if self.emit == "partials":
+
+            def run_partition(pid: int, it) -> None:
+                exp = expand(pid, it)
+                # Partial clusters ship to the driver through the
+                # accumulator as the task finishes, like the range plan.
+                acc.add(exp.partials)
+                if counters_acc is not None:
+                    counters_acc.add([(pid, exp.counters)])
+
+            state.indices.foreach_partition_with_index(run_partition)
+        else:
+
+            def expand_partition(pid: int, it):
+                yield expand(pid, it)
+
+            # Cached executor-side; digests ship from the foreach action
+            # only, so a cache miss under processes cannot double-count.
+            expanded = state.indices.map_partitions_with_index(
+                expand_partition
+            ).persist()
+            state.extras["expanded_rdd"] = expanded
+
+            def emit_digest(pid: int, it) -> None:
+                for exp in it:
+                    acc.add([partition_digest(exp)])
+                    if counters_acc is not None:
+                        counters_acc.add([(pid, exp.counters)])
+
+            expanded.foreach_partition_with_index(emit_digest)
 
         durations = state.sc.last_job_metrics.task_durations()
         state.timings.executor_task_durations = durations
@@ -203,25 +246,21 @@ class LocalIndexExpand(Stage):
 
 
 class CellCollect(CollectPartials):
-    """`CollectPartials` plus founder-sorting (see the module docstring).
+    """`CollectPartials`, which founder-sorts (see the module docstring).
 
     Cell ownership is not contiguous, so partials arrive grouped by
-    partition in an order unrelated to their point ids; sorting by
-    founder makes the list — and therefore global cluster numbering and
-    every downstream artifact — deterministic and identical to the
-    range plan's.
+    partition in an order unrelated to their point ids; the founder sort
+    (now the base class's canonical order, since accumulator arrival is
+    completion-ordered on the parallel backends too) makes the list —
+    and therefore global cluster numbering and every downstream artifact
+    — deterministic and identical to the range plan's.  Kept as its own
+    class so the cell plan's manifest names its collect step.
     """
 
     name = "CollectPartials"
     requires = ("expanded", "engine")
     provides = ("partials",)
     checkpointable = True
-
-    def run(self, state: PipelineState) -> None:
-        super().run(state)
-        # Founders are unique (each is an owned core point of exactly
-        # one partial), so the sort is a total order.
-        state.partials.sort(key=lambda c: c.members[0])
 
 
 __all__ = ["CellCollect", "CellPartition", "LocalIndexExpand"]

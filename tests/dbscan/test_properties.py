@@ -8,10 +8,14 @@ from hypothesis import strategies as st
 from repro.dbscan import (
     NOISE,
     SparkDBSCAN,
+    apply_gid_map,
     clusterings_equivalent,
     dbscan_sequential,
+    digest_from_partials,
     local_dbscan,
+    merge_edges,
     merge_partials,
+    merge_union_find,
 )
 from repro.engine.partitioner import IndexRangePartitioner
 from repro.kdtree import KDTree
@@ -96,6 +100,52 @@ def test_merge_is_partition_count_invariant_on_cores(pts, p, eps, minpts):
     many = SparkDBSCAN(eps, minpts, num_partitions=p).fit(pts, tree=tree)
     assert one.num_clusters == many.num_clusters
     assert one.num_noise == many.num_noise
+
+
+def _collected_partials(pts, p, eps, minpts, tree):
+    """Partials as the driver sees them: all partitions, founder-sorted
+    (the canonical order `CollectPartials` pins after draining)."""
+    part = IndexRangePartitioner(len(pts), p)
+    partials = []
+    for pid in range(p):
+        lo, hi = part.range_of(pid)
+        partials.extend(local_dbscan(pid, range(lo, hi), pts, tree, eps,
+                                     minpts, part))
+    partials.sort(key=lambda c: c.members[0])
+    return partials
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=point_clouds(), p=st.integers(1, 6), eps=st.floats(0.5, 8.0),
+       minpts=st.integers(2, 6))
+def test_edge_merge_equivalent_to_partials_merge(pts, p, eps, minpts):
+    """DESIGN.md §11's contract as a property: merging digests and
+    re-applying the gid map is byte-identical to merging whole partials."""
+    tree = KDTree(pts, leaf_size=8)
+    partials = _collected_partials(pts, p, eps, minpts, tree)
+    ref = merge_union_find(partials, len(pts))
+    plan = merge_edges(digest_from_partials(partials))
+    labels = apply_gid_map(partials, plan, len(pts))
+    np.testing.assert_array_equal(labels, ref.labels)
+    assert plan.num_merges == ref.num_merges
+    assert plan.num_global_clusters == ref.num_global_clusters
+    assert plan.groups == ref.groups
+
+
+@settings(max_examples=20, deadline=None)
+@given(pts=point_clouds(), p=st.integers(2, 5), eps=st.floats(0.5, 8.0),
+       size=st.integers(1, 6))
+def test_edge_merge_respects_min_cluster_size(pts, p, eps, size):
+    """The r1m small-partial filter must behave identically in both
+    merge paths, kept-set and labels alike."""
+    minpts = 3
+    tree = KDTree(pts, leaf_size=8)
+    partials = _collected_partials(pts, p, eps, minpts, tree)
+    ref = merge_partials(list(partials), len(pts), min_cluster_size=size)
+    plan = merge_edges(digest_from_partials(partials), min_cluster_size=size)
+    labels = apply_gid_map(partials, plan, len(pts))
+    np.testing.assert_array_equal(labels, ref.labels)
+    assert plan.groups == ref.groups
 
 
 @settings(max_examples=25, deadline=None)

@@ -57,6 +57,22 @@ class TestValidation:
         with pytest.raises(ValueError):
             cfg(algorithm="naive", partitioning="cells")
 
+    def test_merge_mode_validated(self):
+        assert cfg(merge_mode="edges").merge_mode == "edges"
+        with pytest.raises(ValueError):
+            cfg(merge_mode="telepathy")
+
+    @pytest.mark.parametrize("bad", [
+        dict(algorithm="naive"),             # SEED pipelines only
+        dict(algorithm="mapreduce"),
+        dict(merge_strategy="paper"),        # edge merge is union-find
+        dict(keep_partials=True),            # executors never ship partials
+        dict(max_neighbors=40),              # truncation breaks eps-symmetry
+    ])
+    def test_edges_mode_incompatibilities(self, bad):
+        with pytest.raises(ValueError):
+            cfg(merge_mode="edges", **bad)
+
 
 class TestContentHash:
     def test_deterministic(self):
@@ -76,6 +92,7 @@ class TestContentHash:
         dict(impl="hashtable"),
         dict(max_neighbors=40),
         dict(partitioning="cells"),
+        dict(merge_mode="edges"),
     ])
     def test_semantic_field_changes_hash(self, change):
         pts = np.arange(20, dtype=np.float64).reshape(10, 2)

@@ -15,12 +15,17 @@ def config_for(name: str) -> RunConfig:
     """A RunConfig that resolves to the named plan.
 
     The ``cell`` plan is not an algorithm: it is the spark plan re-based
-    via ``partitioning="cells"``.
+    via ``partitioning="cells"``; the ``*_edges`` plans are the same
+    compositions with the edge-based merge tail (``merge_mode="edges"``).
     """
+    kwargs: dict = {}
+    if name.endswith("_edges"):
+        name = name[: -len("_edges")]
+        kwargs["merge_mode"] = "edges"
     if name == "cell":
         return RunConfig(eps=25.0, minpts=5, algorithm="spark",
-                         partitioning="cells")
-    return RunConfig(eps=25.0, minpts=5, algorithm=name)
+                         partitioning="cells", **kwargs)
+    return RunConfig(eps=25.0, minpts=5, algorithm=name, **kwargs)
 
 
 def test_manifest_covers_every_plan():
@@ -39,10 +44,17 @@ def test_manifest_matches_builders():
 
 
 def test_shuffle_free_plans_are_the_paper_pipelines():
-    assert SHUFFLE_FREE_PLANS == ("spark", "spatial", "cell")
+    assert SHUFFLE_FREE_PLANS == (
+        "spark", "spatial", "cell",
+        "spark_edges", "spatial_edges", "cell_edges",
+    )
 
 
 def test_plan_name_resolution():
     assert plan_name(config_for("spark")) == "spark"
     assert plan_name(config_for("cell")) == "cell"
     assert build_plan(config_for("cell")).name == "cell"
+    assert plan_name(config_for("spark_edges")) == "spark_edges"
+    assert plan_name(config_for("spatial_edges")) == "spatial_edges"
+    assert plan_name(config_for("cell_edges")) == "cell_edges"
+    assert build_plan(config_for("cell_edges")).name == "cell_edges"

@@ -156,6 +156,73 @@ class TestCrashResume:
         assert ref == res
 
 
+#: (kill_after, stages that must be skipped on resume) for the edge-merge
+#: tail.  Killing after ApplyGidMap leaves only RelabelFilter, a pure
+#: driver transform; killing after MergeEdges must re-run the expansion
+#: (ApplyGidMap needs the executor-resident member lists) but restores
+#: the merge plan; killing after CollectEdges restores the digest.
+EDGE_CRASH_MATRIX = [
+    ("CollectEdges", set()),
+    ("MergeEdges", {"CollectEdges"}),
+    ("ApplyGidMap", {"BuildIndex", "PartitionPlan", "BroadcastModel",
+                     "LocalExpand", "CollectEdges", "MergeEdges"}),
+]
+
+
+class TestEdgeMergeCrashResume:
+    @pytest.mark.parametrize("kill_after,skipped", EDGE_CRASH_MATRIX)
+    def test_resume_matches_uninterrupted(self, kill_after, skipped, data,
+                                          tmp_path):
+        config = make_config("spark", merge_mode="edges")
+        reference = run_plan(config, data)
+        partials_ref = run_plan(make_config("spark"), data)
+        np.testing.assert_array_equal(reference.labels, partials_ref.labels)
+
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after=kill_after)
+        resumed = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                           resume=True)
+        assert resumed.stage_status[kill_after] == "restored"
+        for name in skipped:
+            assert resumed.stage_status[name] == "skipped"
+        np.testing.assert_array_equal(resumed.labels, reference.labels)
+
+    def test_spatial_edges_resume(self, data, tmp_path):
+        config = make_config("spatial", merge_mode="edges")
+        reference = run_plan(config, data)
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after="ApplyGidMap")
+        resumed = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                           resume=True)
+        assert resumed.stage_status["ApplyGidMap"] == "restored"
+        np.testing.assert_array_equal(resumed.labels, reference.labels)
+        np.testing.assert_array_equal(resumed.perm, reference.perm)
+
+    def test_cell_edges_resume(self, data, tmp_path):
+        config = make_config("spark", partitioning="cells",
+                             merge_mode="edges")
+        reference = run_plan(config, data)
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after="ApplyGidMap")
+        resumed = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                           resume=True)
+        assert resumed.stage_status["ApplyGidMap"] == "restored"
+        np.testing.assert_array_equal(resumed.labels, reference.labels)
+
+    def test_full_restore_never_starts_engine(self, data, tmp_path):
+        config = make_config("spark", merge_mode="edges")
+        with pytest.raises(PipelineCrash):
+            run_plan(config, data, checkpoint_dir=str(tmp_path),
+                     fail_after="ApplyGidMap")
+        resumed = run_plan(config, data, checkpoint_dir=str(tmp_path),
+                           resume=True)
+        assert resumed.sc is None          # relabel ran purely from artifacts
+        assert resumed.stage_status["RelabelFilter"] == "run"
+
+
 class TestCheckpointMetrics:
     def test_miss_then_hit_counters(self, data, tmp_path):
         config = make_config("spark")
