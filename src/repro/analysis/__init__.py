@@ -6,6 +6,8 @@ from .cost_model import (
     CalibratedCostModel,
     CostModel,
     WorkloadParams,
+    merge_input_class,
+    merge_units,
     search_time_lower,
     search_time_upper,
 )
@@ -14,6 +16,8 @@ __all__ = [
     "CostModel",
     "CalibratedCostModel",
     "WorkloadParams",
+    "merge_input_class",
+    "merge_units",
     "search_time_lower",
     "search_time_upper",
     "BalanceReport",

@@ -17,6 +17,17 @@ turns it into seconds by fitting the two free constants (per-query
 cost and per-element merge cost) from a single measured run, then
 predicts speedups at any p — Ablation F compares those predictions
 with measured speedups.
+
+The ``n + K·m`` driver-merge term is the paper's — it assumes the
+driver collects O(points) of partial state.  The edge-based merge path
+collects only O(edges) digests, so the term depends on *which plan* is
+modelled.  Rather than hand-maintaining per-plan constants, the merge
+term is derived from the statically checked size classes: the
+``SIZE_MANIFEST`` in `repro.pipeline.plans` (the same literal the
+``SCL`` lint rules prove the code against) declares each stage's
+driver-resident output class, `merge_input_class` looks up what the
+plan's collect stage actually hands the driver, and `merge_units`
+turns that class into model units.
 """
 
 from __future__ import annotations
@@ -42,6 +53,48 @@ class WorkloadParams:
             raise ValueError(f"n must be >= 1, got {self.n}")
         if self.d < 1:
             raise ValueError(f"d must be >= 1, got {self.d}")
+
+
+def merge_input_class(plan: str) -> str:
+    """The size class the driver's merge consumes under ``plan``.
+
+    Reads the pipeline's ``STAGE_MANIFEST``/``SIZE_MANIFEST`` literals:
+    the plan's (last) collect stage declares what actually lands on the
+    driver.  Plans with no collect stage merge in-memory state, which
+    is the paper's O(points) assumption.
+    """
+    from repro.pipeline.plans import SIZE_MANIFEST, STAGE_MANIFEST
+
+    stages = STAGE_MANIFEST.get(plan)
+    if stages is None:
+        known = ", ".join(sorted(STAGE_MANIFEST))
+        raise ValueError(f"unknown plan {plan!r}; expected one of {known}")
+    for cls in reversed(stages):
+        if "Collect" in cls:
+            return SIZE_MANIFEST.get(cls, {}).get("output", "O(points)")
+    return "O(points)"
+
+
+def merge_units(params: WorkloadParams, size_class: str = "O(points)") -> float:
+    """Driver-merge cost in model units for a collected ``size_class``.
+
+    - ``O(points)``: the paper's ``n + K·m`` (seed digging over every
+      point plus K·m merge comparisons);
+    - ``O(edges)``: ``K·m + m`` (union over the merge edges; K·m bounds
+      the edge count, plus m find operations for the relabel map);
+    - ``O(partials)``/``O(cells)``: ``m`` (one pass over the partials;
+      the model has no cell count, partials are its closest proxy);
+    - ``O(1)``: a constant unit.
+    """
+    if size_class == "O(points)":
+        return params.n + params.K * params.m
+    if size_class == "O(edges)":
+        return params.K * params.m + params.m
+    if size_class in ("O(partials)", "O(cells)"):
+        return float(params.m)
+    if size_class == "O(1)":
+        return 1.0
+    raise ValueError(f"unknown size class {size_class!r}")
 
 
 def search_time_lower(params: WorkloadParams) -> float:
@@ -80,9 +133,11 @@ class CostModel:
         n = self.params.n
         return self.params.delta + n * math.log2(max(n, 2))
 
-    def merge_time(self) -> float:
-        """n + K·m (driver-side seed digging + merging)."""
-        return self.params.n + self.params.K * self.params.m
+    def merge_time(self, size_class: str = "O(points)") -> float:
+        """Driver-side merge units; ``O(points)`` is the paper's
+        ``n + K·m``, other classes come from `merge_units` (pass
+        `merge_input_class(plan)` to model a specific plan)."""
+        return merge_units(self.params, size_class)
 
     def sequential_time(self) -> float:
         """Ts = Δ + n·log n + n·V + n + K·m."""
@@ -117,12 +172,15 @@ class CalibratedCostModel:
 
     ``query_cost`` (s per range query) and ``merge_unit_cost`` (s per
     merged element) are the two free constants; Δ and t_straggling are
-    taken from measurement directly.
+    taken from measurement directly.  ``merge_size_class`` selects the
+    driver-merge term (see `merge_units`); fit and prediction must use
+    the same class or the free constant absorbs the mismatch.
     """
 
     params: WorkloadParams
     query_cost: float
     merge_unit_cost: float
+    merge_size_class: str = "O(points)"
 
     @classmethod
     def fit(
@@ -130,26 +188,32 @@ class CalibratedCostModel:
         params: WorkloadParams,
         measured_executor_total: float,
         measured_merge: float,
+        merge_size_class: str = "O(points)",
     ) -> "CalibratedCostModel":
         """Calibrate from a run's executor-total and driver-merge seconds."""
         if measured_executor_total < 0 or measured_merge < 0:
             raise ValueError("measured times must be non-negative")
         query_cost = measured_executor_total / max(params.n, 1)
-        merge_unit = measured_merge / max(params.n + params.K * params.m, 1)
-        return cls(params=params, query_cost=query_cost, merge_unit_cost=merge_unit)
+        merge_unit = measured_merge / max(merge_units(params, merge_size_class), 1)
+        return cls(
+            params=params,
+            query_cost=query_cost,
+            merge_unit_cost=merge_unit,
+            merge_size_class=merge_size_class,
+        )
 
     def parallel_time(self, p: int) -> float:
         """Predicted parallel time on p cores (seconds)."""
         if p < 1:
             raise ValueError(f"p must be >= 1, got {p}")
         executor = (self.params.n / p + self.params.m) * self.query_cost
-        merge = (self.params.n + self.params.K * self.params.m) * self.merge_unit_cost
+        merge = merge_units(self.params, self.merge_size_class) * self.merge_unit_cost
         return self.params.delta + executor + self.params.t_straggling + merge
 
     def sequential_time(self) -> float:
         """Predicted 1-core time (seconds)."""
         executor = self.params.n * self.query_cost
-        merge = (self.params.n + self.params.K * self.params.m) * self.merge_unit_cost
+        merge = merge_units(self.params, self.merge_size_class) * self.merge_unit_cost
         return self.params.delta + executor + merge
 
     def speedup(self, p: int) -> float:

@@ -438,7 +438,8 @@ def build_parser() -> argparse.ArgumentParser:
     li = sub.add_parser(
         "lint",
         help="static task-closure analysis (capture, determinism, "
-             "shuffle-free, picklability, lifecycle/resource-flow rules)",
+             "shuffle-free, picklability, lifecycle/resource-flow, and "
+             "driver size-class rules)",
     )
     li.add_argument("paths", nargs="*", default=["src"],
                     help="files or directories to scan (default: src)")
@@ -454,8 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the rule catalogue and exit")
     li.add_argument("--stats", action="store_true",
                     help="print per-rule finding counts, call-graph size "
-                         "(nodes/edges/SCCs), and CFG size (functions/"
-                         "blocks/edges) after the report")
+                         "(nodes/edges/SCCs), CFG size (functions/"
+                         "blocks/edges), and per-size-class value counts "
+                         "after the report")
     li.set_defaults(func=cmd_lint)
 
     return parser

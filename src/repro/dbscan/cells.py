@@ -66,29 +66,29 @@ class CellGrid:
     def __init__(self, points: np.ndarray, eps: float):
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
-        points = np.ascontiguousarray(points, dtype=np.float64)
+        points = np.ascontiguousarray(points, dtype=np.float64)  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         if points.ndim != 2:
             raise ValueError(f"points must be 2-D, got shape {points.shape}")
-        self.points = points
+        self.points = points  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         self.eps = float(eps)
         self.n, self.d = points.shape
-        coords = np.floor(points / eps).astype(np.int64)
+        coords = np.floor(points / eps).astype(np.int64)  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         if self.n:
             # Occupied cells in lexicographic order; `inverse` maps each
             # point to its cell's row in `cells`.
-            cells, inverse = np.unique(coords, axis=0, return_inverse=True)
-            inverse = inverse.ravel()
+            cells, inverse = np.unique(coords, axis=0, return_inverse=True)  # lint: allow[SCL001] ROADMAP item 1: central driver binning
+            inverse = inverse.ravel()  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         else:
             cells = np.empty((0, self.d), dtype=np.int64)
             inverse = np.empty(0, dtype=np.int64)
-        self.cells = cells
-        self.cell_of_point = inverse
+        self.cells = cells  # lint: allow[SCL001] ROADMAP item 1: central driver binning
+        self.cell_of_point = inverse  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         self.counts = np.bincount(inverse, minlength=len(cells)).astype(np.int64)
         # Points grouped by cell; stable sort keeps ascending global
         # index within each cell (the determinism contract needs it).
-        order = np.argsort(inverse, kind="stable")
+        order = np.argsort(inverse, kind="stable")  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         starts = np.concatenate(([0], np.cumsum(self.counts)))
-        self.cell_points = [
+        self.cell_points = [  # lint: allow[SCL001,SCL002] ROADMAP item 1: central driver binning
             order[starts[i]:starts[i + 1]] for i in range(len(cells))
         ]
 
@@ -244,14 +244,14 @@ def build_cell_assignment(
     """
     if num_partitions < 1:
         raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
-    grid = CellGrid(points, eps)
+    grid = CellGrid(points, eps)  # lint: allow[SCL001] ROADMAP item 1: central driver binning
     cell_pid = balance_cells(grid.counts, num_partitions)
-    point_pid = (
+    point_pid = (  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         cell_pid[grid.cell_of_point] if grid.n
         else np.empty(0, dtype=np.int64)
     )
 
-    halo_mask = np.zeros((num_partitions, grid.n), dtype=bool)
+    halo_mask = np.zeros((num_partitions, grid.n), dtype=bool)  # lint: allow[SCL001] ROADMAP item 1: central driver binning
     eps2 = (eps * eps) * (1.0 + HALO_SLACK)
     for i, j in grid.adjacent_pairs():
         pi, pj = int(cell_pid[i]), int(cell_pid[j])
@@ -265,7 +265,7 @@ def build_cell_assignment(
         near = (excess * excess).sum(axis=1) <= eps2
         halo_mask[pi, idx[near]] = True
 
-    owned = [
+    owned = [  # lint: allow[SCL001] ROADMAP item 1: central driver binning
         np.flatnonzero(point_pid == p).astype(np.int64)
         for p in range(num_partitions)
     ]

@@ -13,7 +13,12 @@ builds a per-function CFG and runs typestate over it: no use of a
 stopped context (LIF001), no write to a closed event log (LIF002), no
 action on an unpersisted RDD/Broadcast (LIF003), no persisted RDD
 leaked past an exit path (RES001), and no lock/context held across an
-escaping exception path (RES002).  Violations are `Finding`s; a
+escaping exception path (RES002).  A size-class abstract
+interpretation (`repro.lint.sizeclass`) over the O(1) ⊑ O(cells) ⊑
+O(partials) ⊑ O(edges) ⊑ O(points) lattice proves the driver stays
+sub-O(points) outside the sanctioned stages (SCL001–SCL004), seeded
+from the pure-literal ``SIZE_MANIFEST`` next to ``STAGE_MANIFEST``.
+Violations are `Finding`s; a
 committed baseline (`lint-baseline.json`) grandfathers known ones, and
 CI fails on anything new (uploading SARIF so findings annotate diffs).
 
@@ -49,6 +54,7 @@ from .rules import (
 from .cfg import CFG, Block, build_cfg
 from .dataflow import BlockStates, ForwardAnalysis, solve
 from .sarif import render_sarif, to_sarif
+from .sizeclass import SIZECLASS_RULES, check_sizeclass, sizeclass_stats
 from .typestate import TYPESTATE_RULES, check_typestate, flow_stats
 
 __all__ = [
@@ -66,9 +72,11 @@ __all__ = [
     "PROJECT_RULES",
     "Project",
     "RULES",
+    "SIZECLASS_RULES",
     "TaskFunction",
     "build_cfg",
     "build_project",
+    "check_sizeclass",
     "check_typestate",
     "discover_files",
     "flow_stats",
@@ -81,6 +89,7 @@ __all__ = [
     "run_lint",
     "run_project_rules",
     "run_rules",
+    "sizeclass_stats",
     "solve",
     "to_sarif",
     "write_baseline",

@@ -36,6 +36,7 @@ from .callgraph import Project, module_name_for
 from .closures import ModuleAnalysis
 from .findings import Finding, LintReport
 from .rules import run_project_rules, run_rules
+from .sizeclass import sizeclass_stats
 from .typestate import flow_stats
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
@@ -194,6 +195,7 @@ def run_lint(
             "graph": {"nodes": nodes, "edges": edges, "sccs": sccs},
             "modules": len(project.modules),
             "cfg": flow_stats(project),
+            "sizes": sizeclass_stats(project),
         }
     if baseline_path is not None and os.path.exists(baseline_path):
         baseline = load_baseline(baseline_path)

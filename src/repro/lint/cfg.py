@@ -19,6 +19,13 @@ Construction rules (DESIGN.md §8.6):
 - branches (``if``/``match``) fork and re-join; loops get a back edge
   to their head plus the not-taken edge (omitted for a literal
   ``while True``, so must-analyses stay precise across infinite loops);
+- walrus assignments (``:=``) are hoisted to synthetic ``Assign``
+  instructions ahead of their enclosing instruction, ``match`` case
+  guards are emitted at their case's entry, and comprehensions are
+  lowered to real loop blocks — a `ForBind` head per generator, the
+  element expression as a body instruction, and a back edge — so a
+  loop-trip-count analysis (SCL002) sees comprehension iteration
+  exactly like ``for`` iteration;
 - every function has one normal exit block and one *raise exit* block;
   ``return`` routes to the former, an uncaught ``raise`` (and every
   may-raise instruction's exceptional edge) to the latter;
@@ -110,6 +117,37 @@ def may_raise(instr: Instr) -> bool:
     if isinstance(instr, ast.AST):
         return any(isinstance(sub, ast.Call) for sub in ast.walk(instr))
     return False
+
+
+_COMP_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _collect_lowerable(node: ast.AST, out: list, is_root: bool = False) -> None:
+    if not is_root and isinstance(
+        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+    ):
+        return              # separate scope: its body is not this CFG's flow
+    if isinstance(node, _COMP_NODES):
+        out.append(node)
+        return              # the builder recurses into it when lowering
+    if isinstance(node, ast.NamedExpr):
+        out.append(node)
+    for child in ast.iter_child_nodes(node):
+        _collect_lowerable(child, out)
+
+
+def _lowerable_parts(instr: ast.AST) -> list[ast.AST]:
+    """Walrus bindings and outermost comprehensions inside one
+    instruction, in document order.  Nested function/class bodies are
+    opaque (their comprehensions run in their own CFGs), and a
+    comprehension's own parts are handled by the builder's recursion."""
+    if isinstance(
+        instr, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+    ):
+        return []
+    out: list[ast.AST] = []
+    _collect_lowerable(instr, out, is_root=True)
+    return out
 
 
 # -- graph --------------------------------------------------------------------
@@ -228,14 +266,69 @@ class _Builder:
             cur = self._stmt(stmt, cur, frames)
         return cur
 
-    def _emit(self, cur: Block, instr: Instr, frames: tuple) -> None:
+    def _emit(self, cur: Block, instr: Instr, frames: tuple) -> Block:
+        """Append one instruction, first making its implicit control flow
+        explicit: walrus bindings are hoisted to synthetic ``Assign``
+        instructions and comprehensions are lowered to loop blocks (a
+        `ForBind` head per generator, the element as a body instruction,
+        and a back edge), so flow analyses see their iteration.  Returns
+        the block construction continues in — lowering may move it."""
+        if isinstance(instr, ast.AST):
+            cur = self._lower_parts(cur, instr, frames)
         cur.instrs.append(instr)
         if may_raise(instr):
             self._add_exception_edges(cur, frames)
+        return cur
+
+    # -- expression-level lowering (walrus / comprehensions) ------------------
+    def _lower_parts(self, cur: Block, instr: ast.AST, frames: tuple) -> Block:
+        for sub in _lowerable_parts(instr):
+            if isinstance(sub, ast.NamedExpr):
+                bind = ast.Assign(targets=[sub.target], value=sub.value)
+                ast.copy_location(bind, sub)
+                cur.instrs.append(bind)
+                if may_raise(bind):
+                    self._add_exception_edges(cur, frames)
+            else:
+                cur = self._lower_comp(cur, sub, frames)
+        return cur
+
+    def _lower_comp(self, cur: Block, comp: ast.AST, frames: tuple) -> Block:
+        """One comprehension as explicit loop blocks.  Nested generators
+        chain (each head feeds the next); the innermost body holds the
+        element expression(s) and the back edge.  The comprehension node
+        itself still appears inside its enclosing instruction — analyses
+        dedup, and set-join transfer makes the re-visit idempotent."""
+        after = self._new()
+        first_head: Block | None = None
+        for gen in comp.generators:
+            cur = self._lower_parts(cur, gen.iter, frames)
+            head = self._new()
+            cur.succs.add(head.bid)
+            head.instrs.append(
+                ForBind(gen.target, gen.iter, getattr(comp, "lineno", 0))
+            )
+            head.succs.add(after.bid)
+            if first_head is None:
+                first_head = head
+            body = self._new()
+            head.succs.add(body.bid)
+            cur = body
+            for cond in gen.ifs:
+                cur = self._emit(cur, cond, frames)
+        elts = [comp.elt] if not isinstance(comp, ast.DictComp) else \
+            [comp.key, comp.value]
+        for elt in elts:
+            expr = ast.Expr(value=elt)
+            ast.copy_location(expr, elt)
+            cur = self._emit(cur, expr, frames)
+        if first_head is not None:
+            cur.succs.add(first_head.bid)
+        return after
 
     def _stmt(self, stmt: ast.stmt, cur: Block, frames: tuple) -> Block | None:
         if isinstance(stmt, ast.Return):
-            self._emit(cur, stmt, frames)
+            cur = self._emit(cur, stmt, frames)
             self._unwind_to(cur, frames, 0, self.exit)
             return None
         if isinstance(stmt, ast.Raise):
@@ -258,11 +351,10 @@ class _Builder:
             return self._match(stmt, cur, frames)
         # Simple statement (incl. nested def/class, whose bodies are
         # separate CFGs built by their own callers).
-        self._emit(cur, stmt, frames)
-        return cur
+        return self._emit(cur, stmt, frames)
 
     def _if(self, stmt: ast.If, cur: Block, frames: tuple) -> Block | None:
-        self._emit(cur, stmt.test, frames)
+        cur = self._emit(cur, stmt.test, frames)
         then = self._new()
         cur.succs.add(then.bid)
         then_end = self._stmts(stmt.body, then, frames)
@@ -287,10 +379,12 @@ class _Builder:
     def _while(self, stmt: ast.While, cur: Block, frames: tuple) -> Block | None:
         head = self._new()
         cur.succs.add(head.bid)
-        self._emit(head, stmt.test, frames)
+        # The back edge targets ``head`` (the test re-evaluates each
+        # iteration); branch edges leave the block the test ends in.
+        head_end = self._emit(head, stmt.test, frames)
         after = self._new()
         body = self._new()
-        head.succs.add(body.bid)
+        head_end.succs.add(body.bid)
         infinite = self._const_true(stmt.test)
         body_end = self._stmts(
             stmt.body, body, frames + (_LoopFrame(head.bid, after.bid),)
@@ -301,19 +395,19 @@ class _Builder:
             # while-else runs when the condition goes false (not on break)
             if stmt.orelse:
                 orelse = self._new()
-                head.succs.add(orelse.bid)
+                head_end.succs.add(orelse.bid)
                 orelse_end = self._stmts(stmt.orelse, orelse, frames)
                 if orelse_end is not None:
                     orelse_end.succs.add(after.bid)
             else:
-                head.succs.add(after.bid)
+                head_end.succs.add(after.bid)
         reachable = bool(after.instrs) or any(
             after.bid in b.succs for b in self.blocks.values()
         )
         return after if reachable else None
 
     def _for(self, stmt: ast.For | ast.AsyncFor, cur: Block, frames: tuple) -> Block:
-        self._emit(cur, stmt.iter, frames)
+        cur = self._emit(cur, stmt.iter, frames)
         head = self._new()
         cur.succs.add(head.bid)
         head.instrs.append(ForBind(stmt.target, stmt.iter, stmt.lineno))
@@ -337,7 +431,7 @@ class _Builder:
 
     def _with(self, stmt: ast.With | ast.AsyncWith, cur: Block, frames: tuple) -> Block | None:
         for item in stmt.items:
-            self._emit(cur, WithEnter(item, stmt.lineno), frames)
+            cur = self._emit(cur, WithEnter(item, stmt.lineno), frames)
             # The context expression itself may raise (it's usually a call).
             if may_raise(item.context_expr):
                 self._add_exception_edges(cur, frames)
@@ -400,12 +494,16 @@ class _Builder:
         return after if reachable else None
 
     def _match(self, stmt: ast.Match, cur: Block, frames: tuple) -> Block | None:
-        self._emit(cur, stmt.subject, frames)
+        cur = self._emit(cur, stmt.subject, frames)
         join = self._new()
         exhaustive = False
         for case in stmt.cases:
             cb = self._new()
             cur.succs.add(cb.bid)
+            # A guard is evaluated after the pattern matches and before
+            # the body runs; emit it so flow analyses see its reads/calls.
+            if case.guard is not None:
+                cb = self._emit(cb, case.guard, frames)
             case_end = self._stmts(case.body, cb, frames)
             if case_end is not None:
                 case_end.succs.add(join.bid)

@@ -118,6 +118,16 @@ class LintReport:
                 f"{c.get('blocks', 0)} blocks, {c.get('edges', 0)} edges "
                 f"(+{c.get('exc_edges', 0)} exceptional)"
             )
+        s = self.stats.get("sizes")
+        if s:
+            values = s.get("values", {})
+            classes = ", ".join(
+                f"{name}={n}" for name, n in values.items()
+            ) or "none"
+            lines.append(
+                f"size classes: {s.get('functions', 0)} driver function(s) "
+                f"checked; values by class: {classes}"
+            )
         return "\n".join(lines)
 
     def render_json(self) -> str:

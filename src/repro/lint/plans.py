@@ -15,6 +15,14 @@ and verifies every plan's dataflow chain:
   *later* stage: the chain is complete but the ordering is circular, so
   the plan can never run front to back.
 
+A module may additionally declare a pure-literal ``SIZE_MANIFEST``
+(stage class → ``{"input": class, "output": class}`` over the size
+lattice of DESIGN.md §8.7).  When present it is checked for consistency
+with the same module's ``STAGE_MANIFEST`` (every entry names a manifest
+stage, every manifest stage is covered, classes come from the lattice)
+under PLN001, and it seeds the size-class abstract interpretation
+(`repro.lint.sizeclass`, the SCL rules).
+
 The manifest also feeds `repro.lint.lineage`: the stage classes of the
 shuffle-free plans are SHF001 entry points, so adding a stage to the
 ``spark``/``spatial`` compositions automatically puts it under the
@@ -39,6 +47,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 STAGE_MANIFEST_NAME = "STAGE_MANIFEST"
 SHUFFLE_FREE_NAME = "SHUFFLE_FREE_PLANS"
+SIZE_MANIFEST_NAME = "SIZE_MANIFEST"
+
+#: The size-class chain, smallest first (DESIGN.md §8.7).
+SIZE_CLASSES = ("O(1)", "O(cells)", "O(partials)", "O(edges)", "O(points)")
 
 
 @dataclass(frozen=True)
@@ -166,6 +178,60 @@ def manifests(project: "Project") -> list[PlanManifest]:
     return out
 
 
+@dataclass(frozen=True)
+class SizeManifest:
+    """One module's ``SIZE_MANIFEST`` literal: per-stage size classes."""
+
+    module: str
+    path: str
+    # stage class name -> (input class, output class, line of the entry)
+    stages: dict[str, tuple[str, str, int]]
+
+
+def size_manifests(project: "Project") -> list[SizeManifest]:
+    """Every ``SIZE_MANIFEST`` literal in the scanned modules.
+
+    Entries are read permissively (non-string keys or classes are kept
+    as ``""``); `check_plan_contracts` reports the malformed ones.
+    """
+    out: list[SizeManifest] = []
+    for module, analysis in project.modules.items():
+        for node in analysis.tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Name)
+                and target.id == SIZE_MANIFEST_NAME
+                and isinstance(node.value, ast.Dict)
+            ):
+                continue
+            stages: dict[str, tuple[str, str, int]] = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (
+                    isinstance(key, ast.Constant) and isinstance(key.value, str)
+                ):
+                    continue
+                classes = {"input": "", "output": ""}
+                if isinstance(value, ast.Dict):
+                    for k, v in zip(value.keys, value.values):
+                        if (
+                            isinstance(k, ast.Constant)
+                            and k.value in classes
+                            and isinstance(v, ast.Constant)
+                            and isinstance(v.value, str)
+                        ):
+                            classes[k.value] = v.value
+                stages[key.value] = (
+                    classes["input"], classes["output"], key.lineno
+                )
+            if stages:
+                out.append(
+                    SizeManifest(module=module, path=analysis.path, stages=stages)
+                )
+    return out
+
+
 def shuffle_free_stage_classes(project: "Project") -> set[str]:
     """Stage class names composing the shuffle-free plans — SHF001
     entry points derived from the manifest, not hand-maintained."""
@@ -237,4 +303,38 @@ def check_plan_contracts(
                             "incomplete", plan,
                         )
                 available |= set(contract.provides)
+
+    # Size-manifest consistency (gated on a module declaring one at all,
+    # so plan fixtures without size contracts stay clean): every entry
+    # must name a stage class of the same module's STAGE_MANIFEST, carry
+    # classes from the lattice, and every manifest stage must be covered.
+    stage_classes_by_module: dict[str, set[str]] = {}
+    for manifest in manifests(project):
+        classes = stage_classes_by_module.setdefault(manifest.module, set())
+        for entries in manifest.plans.values():
+            classes.update(cls for cls, _line in entries)
+    for size in size_manifests(project):
+        known = stage_classes_by_module.get(size.module, set())
+        for cls, (inp, outp, line) in sorted(size.stages.items()):
+            if known and cls not in known:
+                emit(
+                    "PLN001", size.path, line,
+                    f"size manifest entry {cls!r} names no stage class of "
+                    f"this module's {STAGE_MANIFEST_NAME}", f"size:{cls}",
+                )
+            for role, value in (("input", inp), ("output", outp)):
+                if value not in SIZE_CLASSES:
+                    emit(
+                        "PLN001", size.path, line,
+                        f"size manifest entry {cls!r} has {role} class "
+                        f"{value!r}; expected one of {', '.join(SIZE_CLASSES)}",
+                        f"size:{cls}",
+                    )
+        for cls in sorted(known - set(size.stages)):
+            emit(
+                "PLN001", size.path, 1,
+                f"stage class {cls!r} appears in {STAGE_MANIFEST_NAME} but "
+                f"has no {SIZE_MANIFEST_NAME} entry; declare its driver "
+                "input/output size classes", f"size:{cls}",
+            )
     return out

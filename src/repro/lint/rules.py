@@ -39,6 +39,13 @@ set, so they fire through helper modules too:
   (SparkContext), write-after-close (EventLog), action-after-unpersist
   (RDD/Broadcast), persist with no unpersist on an exit path, and
   lock/context held across an escaping exception path.
+- ``SCL001``–``SCL004`` size classes (`repro.lint.sizeclass`) — an
+  abstract interpretation over the O(1) ⊑ O(cells) ⊑ O(partials) ⊑
+  O(edges) ⊑ O(points) lattice, seeded from the ``SIZE_MANIFEST``:
+  O(points) materialized/retained on the driver outside the sanctioned
+  stages (SCL001), a driver loop with O(points) trip count (SCL002), a
+  dataset-sized broadcast in a cell/edges plan (SCL003), and a collect
+  of an un-digested RDD when a digest reduction exists (SCL004).
 
 Rules only fire on *positively identified* hazards — an unknown type
 never triggers a finding.
@@ -57,6 +64,7 @@ from .lineage import (
     check_shuffle_free,
 )
 from .plans import check_plan_contracts
+from .sizeclass import check_sizeclass
 from .typestate import check_typestate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -326,6 +334,26 @@ project_rule(
     "RES002",
     "lock or context acquired but not released on an exception path",
     lambda project: check_typestate(project, rules=("RES002",)),
+)
+project_rule(
+    "SCL001",
+    "O(points) value materialized or retained on the driver",
+    lambda project: check_sizeclass(project, rules=("SCL001",)),
+)
+project_rule(
+    "SCL002",
+    "driver-side loop with an O(points) trip count",
+    lambda project: check_sizeclass(project, rules=("SCL002",)),
+)
+project_rule(
+    "SCL003",
+    "dataset-sized broadcast in a cell/edges plan",
+    lambda project: check_sizeclass(project, rules=("SCL003",)),
+)
+project_rule(
+    "SCL004",
+    "collect of an un-digested RDD where a digest reduction exists",
+    lambda project: check_sizeclass(project, rules=("SCL004",)),
 )
 
 

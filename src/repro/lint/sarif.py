@@ -4,8 +4,9 @@ One run, one tool (``repro-lint``), one result per finding.  The
 emitter sticks to the stable core of the spec so CI's ``upload-sarif``
 can annotate PR diffs:
 
-- every fired rule appears in ``tool.driver.rules`` with its catalogue
-  summary, and each result links back via ``ruleId``/``ruleIndex``;
+- the *full* rule catalogue appears in ``tool.driver.rules`` with its
+  one-line summaries (so catalogue parity is checkable from the SARIF
+  alone), and each result links back via ``ruleId``/``ruleIndex``;
 - locations use repo-relative POSIX URIs and 1-based line/column
   regions (lint columns are 0-based AST offsets);
 - the linter's own line-free fingerprint rides along as a
@@ -75,7 +76,9 @@ def to_sarif(report: LintReport, catalogue: dict[str, str] | None = None) -> dic
         from .rules import rule_catalogue
 
         catalogue = rule_catalogue()
-    fired = sorted({f.rule for f in report.findings})
+    # The whole catalogue, not just the fired rules: rule descriptors
+    # are the machine-readable half of the 18-rule parity contract.
+    ids = sorted(set(catalogue) | {f.rule for f in report.findings})
     rules = [
         {
             "id": rid,
@@ -85,9 +88,9 @@ def to_sarif(report: LintReport, catalogue: dict[str, str] | None = None) -> dic
             },
             "defaultConfiguration": {"level": "error"},
         }
-        for rid in fired
+        for rid in ids
     ]
-    rule_index = {rid: i for i, rid in enumerate(fired)}
+    rule_index = {rid: i for i, rid in enumerate(ids)}
     new_ids = {id(f) for f in report.new}
     return {
         "$schema": SARIF_SCHEMA,

@@ -320,6 +320,40 @@ SHUFFLE_FREE_PLANS = (
     "spark", "spatial", "cell", "spark_edges", "spatial_edges", "cell_edges",
 )
 
+# Static per-stage size-class contract (DESIGN.md §8.7).  Pure literals
+# again: ``repro.lint.sizeclass`` reads the ``input``/``output`` classes
+# straight off the AST to seed the size-class abstract interpretation
+# (the SCL rules), and ``repro.lint.plans`` verifies every entry names a
+# manifest stage class, every manifest stage is covered, and the classes
+# are drawn from the O(1) ⊑ O(cells) ⊑ O(partials) ⊑ O(edges) ⊑
+# O(points) lattice.  "input"/"output" describe the *driver-resident*
+# data a stage consumes/produces — a stage whose work lives in a lazy
+# RDD plan is O(1) on the driver even though executors touch O(points).
+SIZE_MANIFEST = {
+    "LoadPoints": {"input": "O(points)", "output": "O(points)"},
+    "SpatialReorder": {"input": "O(points)", "output": "O(points)"},
+    "BuildIndex": {"input": "O(points)", "output": "O(points)"},
+    "PartitionPlan": {"input": "O(1)", "output": "O(1)"},
+    "BroadcastModel": {"input": "O(points)", "output": "O(1)"},
+    "CellPartition": {"input": "O(points)", "output": "O(points)"},
+    "LocalExpand": {"input": "O(1)", "output": "O(1)"},
+    "LocalIndexExpand": {"input": "O(1)", "output": "O(1)"},
+    "CollectPartials": {"input": "O(points)", "output": "O(points)"},
+    "CellCollect": {"input": "O(points)", "output": "O(points)"},
+    "CollectEdges": {"input": "O(edges)", "output": "O(edges)"},
+    "MergeEdges": {"input": "O(edges)", "output": "O(partials)"},
+    "MergePartials": {"input": "O(points)", "output": "O(points)"},
+    "ApplyGidMap": {"input": "O(partials)", "output": "O(points)"},
+    "RelabelFilter": {"input": "O(points)", "output": "O(points)"},
+    "SequentialExpand": {"input": "O(points)", "output": "O(points)"},
+    "ShuffleExpand": {"input": "O(points)", "output": "O(points)"},
+    "NaiveRelabel": {"input": "O(points)", "output": "O(points)"},
+    "MRBuildIndex": {"input": "O(points)", "output": "O(points)"},
+    "MRLocalExpand": {"input": "O(1)", "output": "O(1)"},
+    "MRCollect": {"input": "O(points)", "output": "O(points)"},
+    "MRRelabel": {"input": "O(points)", "output": "O(points)"},
+}
+
 
 def plan_name(config: RunConfig) -> str:
     """The plan a config resolves to.

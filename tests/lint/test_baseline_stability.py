@@ -36,6 +36,30 @@ FLOW_VIOLATION = textwrap.dedent(
 )
 
 
+# A size-class pair (SCL001 + SCL002): the module carries its own plan
+# + size manifests, so the scope machinery sees the stage wherever the
+# file lives — the fingerprints must survive the same refactors.
+SCL_VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+
+    class Work:
+        name = "Work"
+        provides = ("out",)
+
+        def run(self, state):
+            snapshot = np.sort(state.points)
+            for row in state.points:
+                snapshot = snapshot
+            return snapshot
+
+    STAGE_MANIFEST = {"cell": ("Work",)}
+    SHUFFLE_FREE_PLANS = ("cell",)
+    SIZE_MANIFEST = {"Work": {"input": "O(points)", "output": "O(edges)"}}
+    """
+)
+
+
 def _lint(path):
     report = run_lint([str(path)])
     assert report.findings, "fixture must produce a finding"
@@ -154,3 +178,44 @@ class TestFlowFindingStability:
         new.write_text(FLOW_VIOLATION)
         report = run_lint([str(new)], baseline_path=base)
         assert report.clean, report.render_text()
+
+
+class TestSizeClassFindingStability:
+    """Same stability guarantees for the size-class rules."""
+
+    def _scl_lint(self, path):
+        findings = [
+            f for f in run_lint([str(path)]).findings
+            if f.rule.startswith("SCL")
+        ]
+        assert {f.rule for f in findings} == {"SCL001", "SCL002"}
+        return sorted(findings, key=lambda f: f.rule)
+
+    def test_padding_above_keeps_scl_fingerprints(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(SCL_VIOLATION)
+        before = self._scl_lint(mod)
+        mod.write_text("# comment\n" * 40 + SCL_VIOLATION)
+        after = self._scl_lint(mod)
+        assert [f.line for f in before] != [f.line for f in after]
+        assert [f.fingerprint for f in before] == \
+            [f.fingerprint for f in after]
+
+    def test_moved_scl_finding_stays_baselined(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(SCL_VIOLATION)
+        base = str(tmp_path / "base.json")
+        write_baseline(base, run_lint([str(mod)]).findings)
+        mod.write_text("\n" * 25 + SCL_VIOLATION)
+        report = run_lint([str(mod)], baseline_path=base)
+        assert report.clean, report.render_text()
+
+    def test_directory_rename_keeps_scl_fingerprints(self, tmp_path):
+        old = tmp_path / "dbscan" / "mod.py"
+        old.parent.mkdir()
+        old.write_text(SCL_VIOLATION)
+        new = tmp_path / "clustering" / "mod.py"
+        new.parent.mkdir()
+        new.write_text(SCL_VIOLATION)
+        assert [f.fingerprint for f in self._scl_lint(old)] == \
+            [f.fingerprint for f in self._scl_lint(new)]

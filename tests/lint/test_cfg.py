@@ -307,6 +307,120 @@ class TestMayRaise:
         assert not may_raise(ExceptBind(name="e", lineno=1))
 
 
+class TestLowering:
+    """Expression-level lowering: walrus bindings, ``match`` guards,
+    and (nested) comprehensions become explicit instructions/blocks so
+    flow analyses see their bindings, calls, and loop structure."""
+
+    def test_walrus_hoists_a_synthetic_assign(self):
+        cfg = cfg_of(
+            "def f(g):\n"
+            "    if (y := g()):\n"
+            "        return y\n"
+            "    return 0\n"
+        )
+        assigns = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ast.Assign)
+        ]
+        assert any(
+            isinstance(a.targets[0], ast.Name) and a.targets[0].id == "y"
+            for a in assigns
+        )
+
+    def test_walrus_inside_while_condition(self):
+        cfg = cfg_of(
+            "def f(g):\n"
+            "    while (chunk := g()):\n"
+            "        use(chunk)\n"
+        )
+        assigns = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ast.Assign)
+            and isinstance(i.targets[0], ast.Name)
+            and i.targets[0].id == "chunk"
+        ]
+        assert assigns
+
+    def test_comprehension_lowers_to_forbind_loop(self):
+        cfg = cfg_of("def f(xs):\n    return [x + 1 for x in xs]\n")
+        kinds = instr_types(cfg)
+        assert "ForBind" in kinds
+        # the loop head has a back edge: some block reaches an earlier
+        # ForBind-carrying block
+        heads = [
+            bid for bid, b in cfg.blocks.items()
+            if any(isinstance(i, ForBind) for i in b.instrs)
+        ]
+        assert any(
+            h in cfg.blocks[s].succs or any(
+                h in cfg.blocks[t].succs for t in cfg.blocks[s].succs
+            )
+            for h in heads
+            for s in cfg.blocks[h].succs
+        )
+
+    def test_nested_generators_chain_forbinds(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    return [x for row in xs for x in row]\n"
+        )
+        binds = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ForBind)
+        ]
+        assert len(binds) == 2
+
+    def test_comprehension_in_iter_lowers_too(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    return [y for y in [x for x in xs]]\n"
+        )
+        binds = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ForBind)
+        ]
+        assert len(binds) == 2
+
+    def test_lambda_bodies_stay_opaque(self):
+        # A comprehension inside a lambda runs in the lambda's own CFG,
+        # not the enclosing function's.
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    g = lambda: [x for x in xs]\n"
+            "    return g\n"
+        )
+        assert "ForBind" not in instr_types(cfg)
+
+    def test_match_guard_is_emitted_at_case_entry(self):
+        cfg = cfg_of(
+            "def f(v, g):\n"
+            "    match v:\n"
+            "        case int() if g(v):\n"
+            "            return 1\n"
+            "        case _:\n"
+            "            return 0\n"
+        )
+        guards = [
+            i for bid in cfg.blocks for i in cfg.blocks[bid].instrs
+            if isinstance(i, ast.Call)
+            and isinstance(i.func, ast.Name)
+            and i.func.id == "g"
+        ]
+        assert guards, "the guard call must be visible to flow analyses"
+        assert cfg.exit in reachable(cfg, exceptional=False)
+
+    def test_non_exhaustive_match_falls_through(self):
+        cfg = cfg_of(
+            "def f(v):\n"
+            "    match v:\n"
+            "        case 1:\n"
+            "            return 1\n"
+            "    return 0\n"
+        )
+        assert cfg.exit in reachable(cfg, exceptional=False)
+
+
 class TestCounts:
     def test_edge_counts_are_consistent(self):
         cfg = cfg_of(

@@ -10,7 +10,7 @@ import textwrap
 import pytest
 
 from repro.cli import main
-from repro.lint import run_lint, to_sarif
+from repro.lint import rule_catalogue, run_lint, to_sarif
 from repro.lint.sarif import FINGERPRINT_KEY, SARIF_SCHEMA, TOOL_NAME
 
 VIOLATIONS = textwrap.dedent(
@@ -61,7 +61,10 @@ class TestStructure:
         assert len(results) == len(report.findings)
         rules = log["runs"][0]["tool"]["driver"]["rules"]
         rule_ids = [r["id"] for r in rules]
-        assert sorted(rule_ids) == sorted({f.rule for f in report.findings})
+        # Descriptors carry the *whole* catalogue (the parity contract),
+        # fired or not, and every fired rule is among them.
+        assert rule_ids == sorted(rule_catalogue())
+        assert {f.rule for f in report.findings} <= set(rule_ids)
         for result, finding in zip(results, report.findings):
             assert result["ruleId"] == finding.rule
             assert rule_ids[result["ruleIndex"]] == finding.rule
@@ -98,7 +101,9 @@ class TestStructure:
         mod.write_text("def f(x):\n    return x\n")
         log = to_sarif(run_lint([str(mod)]))
         assert log["runs"][0]["results"] == []
-        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+        # Descriptors are still the full catalogue on a clean run.
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == sorted(rule_catalogue())
 
 
 class TestRelatedLocations:
